@@ -1,0 +1,93 @@
+//! Criterion benchmarks: native queue insert rates (the instruction-
+//! execution-rate measurement of §7), trace capture throughput, and
+//! persistency-analysis throughput per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mem_trace::{FreeRunScheduler, TracedMem};
+use persistency::{timing, AnalysisConfig, Model};
+use pqueue::native::{McsNode, NativeCwlQueue, NativeTwoLockQueue};
+use pqueue::traced::{run_cwl_workload, BarrierMode, QueueParams};
+
+/// Native insert throughput — Table 1's normalization baseline.
+fn native_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_insert");
+    g.sample_size(10);
+    for &threads in &[1u32, 4] {
+        g.throughput(Throughput::Elements(1000 * threads as u64));
+        g.bench_with_input(BenchmarkId::new("cwl", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let q = NativeCwlQueue::new(QueueParams::new(8192));
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| {
+                            let node = McsNode::new();
+                            for _ in 0..1000 {
+                                q.insert(&node);
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("2lc", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let q = NativeTwoLockQueue::new(QueueParams::new(8192));
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| {
+                            let node_r = McsNode::new();
+                            let node_u = McsNode::new();
+                            for _ in 0..1000 {
+                                q.insert(&node_r, &node_u);
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Trace capture throughput: events recorded per second.
+fn capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_capture");
+    g.sample_size(10);
+    let inserts = 200u64;
+    g.throughput(Throughput::Elements(inserts));
+    g.bench_function("cwl_free_run_1thread", |b| {
+        b.iter(|| {
+            run_cwl_workload(
+                TracedMem::new(FreeRunScheduler),
+                QueueParams::new(1024),
+                BarrierMode::Full,
+                1,
+                inserts,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Analysis throughput: timing engine events per second per model.
+fn analysis(c: &mut Criterion) {
+    let (trace, _) = run_cwl_workload(
+        TracedMem::new(FreeRunScheduler),
+        QueueParams::new(2048),
+        BarrierMode::Full,
+        1,
+        1000,
+    );
+    let mut g = c.benchmark_group("timing_analysis");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.events().len() as u64));
+    for model in Model::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(model), &model, |b, &model| {
+            b.iter(|| timing::analyze(&trace, &AnalysisConfig::new(model)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, native_queues, capture, analysis);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Extension — finite persist buffering and persist sync (§3, §4.1).
+//!
+//! The paper's throughput model assumes unbounded persist buffering.
+//! This ablation sweeps buffer depth for the CWL queue and shows the §3
+//! prediction: throughput is the slower of the persist *generation* rate
+//! (instruction execution) and the persist *completion* rate (critical
+//! path), with shallow buffers degrading toward unbuffered strict-like
+//! stalls. A second table adds a `persist_sync` after every insert — the
+//! durability-on-return regime — showing what buffered strict persistency
+//! pays for its write-visibility guarantee.
+//!
+//! Usage: `ablation_buffering [--inserts N]`
+
+use bench::fmt::{num, rate, table};
+use mem_trace::{FreeRunScheduler, TracedMem};
+use persistency::buffer::{simulate, BufferConfig};
+use persistency::{AnalysisConfig, Model};
+use pqueue::traced::{CwlQueue, BarrierMode, QueueLayout, QueueParams};
+
+fn arg(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cwl_trace(inserts: u64, sync_each: bool) -> mem_trace::Trace {
+    let mem = TracedMem::new(FreeRunScheduler);
+    let layout = QueueLayout::allocate(&mem, QueueParams::new(inserts.next_power_of_two().max(64)));
+    let queue = CwlQueue::new(layout, BarrierMode::Full);
+    mem.run(1, move |ctx| {
+        for i in 0..inserts {
+            ctx.work_begin(i);
+            queue.insert(ctx);
+            if sync_each {
+                ctx.persist_sync(); // durability before returning
+            }
+            ctx.work_end(i);
+        }
+    })
+}
+
+fn main() {
+    let inserts = arg("--inserts", 400);
+    // 2 ns per traced event ≈ a few-hundred-k inserts/s generation rate,
+    // against 500 ns persists — the interesting contention regime.
+    let instr_ns = 2.0;
+    let persist_ns = 500.0;
+
+    println!("persist-buffer depth ablation: CWL 1 thread, {inserts} inserts,");
+    println!("{instr_ns} ns/event volatile execution, {persist_ns} ns persists");
+    println!();
+
+    let depths: [Option<usize>; 7] =
+        [Some(1), Some(2), Some(4), Some(8), Some(16), Some(64), None];
+    for (title, sync_each) in
+        [("asynchronous durability (no sync)", false), ("persist_sync after every insert", true)]
+    {
+        let trace = cwl_trace(inserts, sync_each);
+        println!("{title}:");
+        let mut rows = Vec::new();
+        for model in [Model::Strict, Model::Epoch, Model::Strand] {
+            let cfg = AnalysisConfig::new(model);
+            let mut row = vec![model.to_string()];
+            for cap in depths {
+                let bc = BufferConfig::new(instr_ns, persist_ns, cap);
+                let r = simulate(&trace, &cfg, &bc).expect("single-threaded");
+                row.push(rate(r.rate(inserts)));
+            }
+            rows.push(row);
+        }
+        let header: Vec<String> = std::iter::once("model".to_string())
+            .chain(depths.iter().map(|d| match d {
+                Some(n) => format!("{n} slots"),
+                None => "unbounded".into(),
+            }))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print!("{}", table(&header_refs, &rows));
+        println!();
+    }
+
+    // Stall breakdown at a representative depth.
+    let trace = cwl_trace(inserts, false);
+    println!("stall anatomy at 8 slots:");
+    for model in [Model::Strict, Model::Epoch, Model::Strand] {
+        let cfg = AnalysisConfig::new(model);
+        let r = simulate(&trace, &cfg, &BufferConfig::new(instr_ns, persist_ns, Some(8))).unwrap();
+        println!(
+            "  {:<7} exec {:>9} us  stalled {:>5}%  peak occupancy {:>3}",
+            model.to_string(),
+            num(r.exec_ns / 1000.0),
+            num(100.0 * r.stall_fraction()),
+            r.peak_occupancy
+        );
+    }
+    println!();
+    println!("shape (§3): relaxed models exploit buffer slots — their concurrent");
+    println!("persists drain in parallel, so modest buffers reach the generation rate;");
+    println!("strict persistency's serialized persists gain nothing from depth. the");
+    println!("per-insert persist_sync forfeits buffering for an immediate durability");
+    println!("guarantee, collapsing every model toward its critical-path-bound rate.");
+}

@@ -1,0 +1,113 @@
+//! Extension — NVRAM device-model ablation: when do bank conflicts, not
+//! persist ordering, bound throughput?
+//!
+//! The paper measures the implementation-independent critical path
+//! (infinite banks/bandwidth). This ablation replays the queue's persist
+//! DAG through a banked device (`nvram` crate) and reports the makespan as
+//! banks shrink: relaxed models' abundant concurrency is exactly what
+//! makes them sensitive to device parallelism.
+//!
+//! Usage: `ablation_nvram [--inserts N] [--latency NS]`
+
+use bench::fmt::{num, table};
+use bench::workloads::{cwl_trace, StdWorkload};
+use nvram::{replay, DeviceConfig};
+use persistency::dag::PersistDag;
+use persistency::{AnalysisConfig, Model};
+use pqueue::traced::BarrierMode;
+
+fn arg(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let inserts = arg("--inserts", 200);
+    let latency = arg("--latency", 500) as f64;
+    let w = StdWorkload::figure(1, inserts);
+    let (trace, _) = cwl_trace(&w, BarrierMode::Full);
+
+    println!("NVRAM device ablation: CWL 1 thread, {inserts} inserts, {latency} ns writes");
+    println!("(makespan in µs; 'ideal' = critical path x latency, the paper's bound)");
+    println!();
+
+    // Sweep 1: bank count at word-granularity interleave — the makespan
+    // converges to the paper's critical-path bound as banks grow.
+    let banks = [1usize, 2, 4, 8, 16, 64, 4096];
+    let mut rows = Vec::new();
+    let dags: Vec<(Model, PersistDag)> = [Model::Strict, Model::Epoch, Model::Strand]
+        .into_iter()
+        .map(|m| {
+            let dag = PersistDag::build(&trace, &AnalysisConfig::new(m))
+                .expect("ablation runs are small");
+            (m, dag)
+        })
+        .collect();
+    for (model, dag) in &dags {
+        let mut row =
+            vec![model.to_string(), num(dag.critical_path() as f64 * latency / 1000.0)];
+        for &b in &banks {
+            let r = replay(dag, &DeviceConfig::new(b, latency).with_interleave(8));
+            row.push(num(r.makespan_ns / 1000.0));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = ["model".to_string(), "ideal".to_string()]
+        .into_iter()
+        .chain(banks.iter().map(|b| format!("{b} banks")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("bank sweep (8-byte interleave):");
+    print!("{}", table(&header_refs, &rows));
+    println!();
+
+    // Sweep 2: interleave granularity at abundant banks — coarse
+    // interleaving maps one entry's word persists to one bank, which
+    // serializes exactly the concurrency relaxed persistency exposed.
+    let interleaves = [8u64, 64, 256, 1024];
+    let mut rows = Vec::new();
+    for (model, dag) in &dags {
+        let mut row = vec![model.to_string()];
+        for &il in &interleaves {
+            let r = replay(dag, &DeviceConfig::new(4096, latency).with_interleave(il));
+            row.push(num(r.makespan_ns / 1000.0));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("model".to_string())
+        .chain(interleaves.iter().map(|i| format!("{i}B interleave")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("interleave sweep (4096 banks):");
+    print!("{}", table(&header_refs, &rows));
+    println!();
+    // Wear accounting (§2.1/§3): coalescing reduces device writes. The
+    // exact (DAG) engine only merges provably ordered persists; the
+    // paper's timestamp methodology (timing engine) coalesces more — both
+    // are reported.
+    println!("wear (8-byte wear blocks):");
+    for (model, dag) in &dags {
+        let w = nvram::wear::analyze(dag, persist_mem::AtomicPersistSize::default());
+        let timed = persistency::timing::analyze(&trace, &AnalysisConfig::new(*model));
+        println!(
+            "  {:<7} {:>6} device writes of {:>6} raw (exact engine; timestamp \
+             methodology coalesces {} -> {} writes), hotspot x{}",
+            model.to_string(),
+            w.device_writes,
+            w.raw_writes,
+            timed.stats.coalesced,
+            timed.persist_nodes,
+            num(w.hotspot_factor()),
+        );
+    }
+    println!();
+    println!("with few banks (or coarse interleave) device conflicts — the paper's 'at");
+    println!("worst' caveat — dominate every model; with word interleave and many banks");
+    println!("the makespan converges to the critical-path bound, validating the paper's");
+    println!("implementation-independent methodology. relaxed models are the most");
+    println!("sensitive: their exposed concurrency is what the device must supply.");
+}

@@ -1,0 +1,49 @@
+//! Litmus matrix: every §4–§5 semantic scenario × every persistency
+//! model, evaluated from the persist-order DAG and checked against the
+//! expected outcomes.
+//!
+//! `ordered` — the recovery observer can never see B without A;
+//! `concurrent` — it can; `coalesced` — the two persists merged into one
+//! atomic persist; `CYCLE` — the intended order is unenforceable.
+
+use bench::fmt::table;
+use persistency::litmus::{expected, suite};
+use persistency::Model;
+
+fn main() {
+    println!("persistency litmus matrix (outcome = persist order of B relative to A)");
+    println!();
+    let mut rows = Vec::new();
+    let mut mismatches = 0;
+    for litmus in suite() {
+        let mut row = vec![litmus.name.to_string()];
+        for model in Model::ALL {
+            let got = litmus.check(model);
+            let want = expected(litmus.name, model);
+            let cell = if want == Some(got) {
+                got.to_string()
+            } else {
+                mismatches += 1;
+                format!("{got} (!)")
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("litmus".to_string())
+        .chain(Model::ALL.iter().map(|m| m.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print!("{}", table(&header_refs, &rows));
+    println!();
+    for litmus in suite() {
+        println!("  {:<27} {}", litmus.name, litmus.description);
+    }
+    println!();
+    if mismatches == 0 {
+        println!("all outcomes match the expected semantics matrix.");
+    } else {
+        println!("{mismatches} OUTCOMES DIVERGE from the expected matrix (marked '!').");
+        std::process::exit(1);
+    }
+}

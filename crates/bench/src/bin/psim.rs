@@ -1,0 +1,301 @@
+//! `psim` — command-line driver for the memory-persistency toolkit.
+//!
+//! Capture queue workloads to trace files, analyze them under any
+//! persistency model, and explore their recovery states:
+//!
+//! ```text
+//! psim capture --queue cwl --mode full --threads 2 --inserts 100 \
+//!              --seed 42 --out /tmp/run.trace
+//! psim analyze --trace /tmp/run.trace --model epoch [--atomic 64] [--tracking 8]
+//! psim cuts    --trace /tmp/run.trace --model epoch --samples 200
+//! psim crash   --trace /tmp/run.trace --model strand
+//! ```
+//!
+//! `capture` writes a `.meta` sidecar recording the queue layout so
+//! `crash` can run the queue's recovery invariant later.
+
+use bench::fmt::num;
+use mem_trace::{io as trace_io, SeededScheduler, Trace, TracedMem};
+use persist_mem::{AtomicPersistSize, MemAddr, TrackingGranularity};
+use persistency::crash::{check, Exploration};
+use persistency::dag::PersistDag;
+use persistency::observer::RecoveryObserver;
+use persistency::{timing, AnalysisConfig, Model};
+use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayout};
+use pqueue::recovery::crash_invariant;
+use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == flag).and_then(|i| self.0.get(i + 1)).map(|s| s.as_str())
+    }
+
+    fn num(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v}")),
+        }
+    }
+
+    fn required(&self, flag: &str) -> Result<&str, String> {
+        self.get(flag).ok_or_else(|| format!("missing required {flag}"))
+    }
+}
+
+fn parse_model(s: &str) -> Result<Model, String> {
+    Model::ALL
+        .into_iter()
+        .find(|m| m.name() == s)
+        .ok_or_else(|| format!("unknown model {s}; use one of strict, strict-rmo, epoch, bpfs, strand"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    trace_io::read_trace(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn config_from(args: &Args, model: Model) -> Result<AnalysisConfig, String> {
+    let mut cfg = AnalysisConfig::new(model);
+    if let Some(a) = args.get("--atomic") {
+        let bytes = a.parse().map_err(|_| format!("bad --atomic {a}"))?;
+        cfg = cfg.with_atomic_persist(AtomicPersistSize::new(bytes).map_err(|e| e.to_string())?);
+    }
+    if let Some(t) = args.get("--tracking") {
+        let bytes = t.parse().map_err(|_| format!("bad --tracking {t}"))?;
+        cfg = cfg.with_tracking(TrackingGranularity::new(bytes).map_err(|e| e.to_string())?);
+    }
+    Ok(cfg)
+}
+
+fn cmd_capture(args: &Args) -> Result<(), String> {
+    let queue = args.get("--queue").unwrap_or("cwl");
+    let threads = args.num("--threads", 1)? as u32;
+    let inserts = args.num("--inserts", 100)?;
+    let seed = args.num("--seed", 42)?;
+    let capacity = args.num("--capacity", (threads as u64 * inserts).next_power_of_two().max(64))?;
+    let out = args.required("--out")?;
+
+    let params = QueueParams::new(capacity);
+    let (trace, layout): (Trace, QueueLayout) = match queue {
+        "cwl" => {
+            let mode = match args.get("--mode").unwrap_or("full") {
+                "full" => BarrierMode::Full,
+                "racing" => BarrierMode::Racing,
+                other => return Err(format!("unknown --mode {other}; use full or racing")),
+            };
+            run_cwl_workload(TracedMem::new(SeededScheduler::new(seed)), params, mode, threads, inserts)
+        }
+        "2lc" => {
+            run_2lc_workload(TracedMem::new(SeededScheduler::new(seed)), params, threads, inserts)
+        }
+        "bounded" => {
+            // Producer/consumer variant: `threads` producers + 1 consumer.
+            let (trace, blayout) = run_bounded_workload(
+                TracedMem::new(SeededScheduler::new(seed)),
+                params,
+                threads,
+                inserts,
+            );
+            trace.validate_sc().map_err(|e| format!("non-SC capture: {e}"))?;
+            let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+            trace_io::write_trace(&trace, BufWriter::new(f))
+                .map_err(|e| format!("write {out}: {e}"))?;
+            let meta = format!(
+                "queue=bounded\nhead={}\ntail={}\ndata={}\ncapacity_entries={}\nrecovery_margin=0\n",
+                blayout.head.to_bits(),
+                blayout.tail.to_bits(),
+                blayout.data.to_bits(),
+                blayout.params.capacity_entries,
+            );
+            let mut mf = File::create(format!("{out}.meta")).map_err(|e| e.to_string())?;
+            mf.write_all(meta.as_bytes()).map_err(|e| e.to_string())?;
+            println!(
+                "captured {} events ({} persists, {} inserts + consumer) to {out}",
+                trace.events().len(),
+                trace.persist_count(),
+                trace.work_count()
+            );
+            return Ok(());
+        }
+        other => return Err(format!("unknown --queue {other}; use cwl, 2lc or bounded")),
+    };
+    trace.validate_sc().map_err(|e| format!("capture produced a non-SC trace: {e}"))?;
+
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    trace_io::write_trace(&trace, BufWriter::new(f)).map_err(|e| format!("write {out}: {e}"))?;
+    // Sidecar metadata for `crash`.
+    let meta = format!(
+        "queue={queue}\nhead={}\ndata={}\ncapacity_entries={}\nrecovery_margin={}\n",
+        layout.head.to_bits(),
+        layout.data.to_bits(),
+        layout.params.capacity_entries,
+        layout.params.recovery_margin,
+    );
+    let mut mf = File::create(format!("{out}.meta")).map_err(|e| e.to_string())?;
+    mf.write_all(meta.as_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "captured {} events ({} persists, {} inserts) to {out}",
+        trace.events().len(),
+        trace.persist_count(),
+        trace.work_count()
+    );
+    Ok(())
+}
+
+fn load_layout(path: &str) -> Result<QueueLayout, String> {
+    let meta = std::fs::read_to_string(format!("{path}.meta"))
+        .map_err(|e| format!("read {path}.meta: {e}"))?;
+    let field = |k: &str| -> Result<u64, String> {
+        meta.lines()
+            .find_map(|l| l.strip_prefix(&format!("{k}=")))
+            .ok_or_else(|| format!("{path}.meta missing {k}"))?
+            .parse()
+            .map_err(|_| format!("{path}.meta has bad {k}"))
+    };
+    let mut params = QueueParams::new(field("capacity_entries")?);
+    let margin = field("recovery_margin")?;
+    if margin > 0 {
+        params = params.with_recovery_margin(margin);
+    }
+    Ok(QueueLayout {
+        head: MemAddr::from_bits(field("head")?),
+        data: MemAddr::from_bits(field("data")?),
+        params,
+    })
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args.required("--trace")?)?;
+    let profile = mem_trace::profile::TraceProfile::of(&trace);
+    println!(
+        "trace: {} events, {} persists ({}% of accesses), {} barriers, \
+         mean epoch {} persists, {} work items",
+        profile.events,
+        profile.persists,
+        (100.0 * profile.persist_density()).round(),
+        profile.persist_barriers,
+        num(profile.mean_epoch_size()),
+        profile.work_items
+    );
+    println!();
+    let models: Vec<Model> = match args.get("--model") {
+        Some(m) => vec![parse_model(m)?],
+        None => Model::ALL.to_vec(),
+    };
+    println!(
+        "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "model", "critical", "cp/insert", "persists", "coalesced", "barriers"
+    );
+    for model in models {
+        let cfg = config_from(args, model)?;
+        let r = timing::analyze(&trace, &cfg);
+        println!(
+            "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            model.to_string(),
+            r.critical_path,
+            num(r.critical_path_per_work()),
+            r.stats.persist_ops,
+            r.stats.coalesced,
+            r.stats.barriers
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cuts(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args.required("--trace")?)?;
+    let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
+    let samples = args.num("--samples", 100)? as usize;
+    let cfg = config_from(args, model)?;
+    let dag = PersistDag::build(&trace, &cfg).map_err(|e| e.to_string())?;
+    let obs = RecoveryObserver::new(&dag);
+    let cuts = obs.sample_cuts(args.num("--seed", 1)?, samples);
+    let sizes: Vec<usize> = cuts.iter().map(|c| c.len()).collect();
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    println!("model {model}: {} persists, {} distinct recovery states sampled", dag.len(), cuts.len());
+    println!("cut sizes: min 0, max {max} (full = {})", dag.len());
+    Ok(())
+}
+
+fn cmd_crash(args: &Args) -> Result<(), String> {
+    let path = args.required("--trace")?;
+    let trace = load_trace(path)?;
+    let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
+    let cfg = config_from(args, model)?;
+    let dag = PersistDag::build(&trace, &cfg).map_err(|e| e.to_string())?;
+    let exploration = Exploration::Sampled {
+        seed: args.num("--seed", 1)?,
+        extensions: args.num("--samples", 200)? as usize,
+    };
+    let meta = std::fs::read_to_string(format!("{path}.meta"))
+        .map_err(|e| format!("read {path}.meta: {e}"))?;
+    let report = if meta.contains("queue=bounded") {
+        let field = |k: &str| -> Result<u64, String> {
+            meta.lines()
+                .find_map(|l| l.strip_prefix(&format!("{k}=")))
+                .ok_or_else(|| format!("{path}.meta missing {k}"))?
+                .parse()
+                .map_err(|_| format!("{path}.meta has bad {k}"))
+        };
+        let blayout = BoundedLayout {
+            head: MemAddr::from_bits(field("head")?),
+            tail: MemAddr::from_bits(field("tail")?),
+            data: MemAddr::from_bits(field("data")?),
+            params: QueueParams::new(field("capacity_entries")?),
+        };
+        check(&dag, exploration, bounded_crash_invariant(blayout)).map_err(|e| e.to_string())?
+    } else {
+        let layout = load_layout(path)?;
+        check(&dag, exploration, crash_invariant(layout)).map_err(|e| e.to_string())?
+    };
+    println!("model {model}: {report}");
+    if !report.is_consistent() {
+        for v in report.violations.iter().take(3) {
+            println!("  {v}");
+        }
+        return Err("recovery invariant violated".into());
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: psim <capture|analyze|cuts|crash> [flags]\n\
+     capture: --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
+              [--seed N] [--capacity N] --out FILE\n\
+     analyze: --trace FILE [--model NAME] [--atomic N] [--tracking N]\n\
+     cuts:    --trace FILE [--model NAME] [--samples N] [--seed N]\n\
+     crash:   --trace FILE [--model NAME] [--samples N] [--seed N]"
+        .into()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args(argv);
+    let result = match cmd.as_str() {
+        "capture" => cmd_capture(&args),
+        "analyze" => cmd_analyze(&args),
+        "cuts" => cmd_cuts(&args),
+        "crash" => cmd_crash(&args),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("psim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2: classifying queue persist dependences.
+//!
+//! The paper's Figure 2 divides the queue's persist ordering constraints
+//! into those *required* for recovery (data → head within an insert, head
+//! → head across inserts) and the unnecessary constraints each relaxation
+//! removes: "A" (serialization of an insert's own data persists, removed
+//! by epoch persistency) and "B" (serialization between different
+//! inserts' data, removed by strand persistency / racing epochs).
+
+use persistency::dag::PersistDag;
+use pqueue::traced::QueueLayout;
+use std::collections::HashMap;
+
+/// Classification of one persist-order edge in a queue trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepClass {
+    /// data → head within one insert: required for recovery.
+    RequiredDataToHead,
+    /// head → head in insert order: required for recovery (no holes).
+    RequiredHeadOrder,
+    /// data → data within one insert: unnecessary, the paper's "A".
+    UnnecessaryIntraInsert,
+    /// any edge between different inserts other than head ordering:
+    /// unnecessary, the paper's "B".
+    UnnecessaryCrossInsert,
+    /// head → data edges and anything else (should be rare).
+    Other,
+}
+
+impl DepClass {
+    /// Short label used in the Figure 2 report.
+    pub fn label(self) -> &'static str {
+        match self {
+            DepClass::RequiredDataToHead => "required data->head",
+            DepClass::RequiredHeadOrder => "required head->head",
+            DepClass::UnnecessaryIntraInsert => "A: intra-insert data",
+            DepClass::UnnecessaryCrossInsert => "B: cross-insert",
+            DepClass::Other => "other",
+        }
+    }
+
+    /// All classes, in report order.
+    pub const ALL: [DepClass; 5] = [
+        DepClass::RequiredDataToHead,
+        DepClass::RequiredHeadOrder,
+        DepClass::UnnecessaryIntraInsert,
+        DepClass::UnnecessaryCrossInsert,
+        DepClass::Other,
+    ];
+}
+
+/// Counts the DAG's direct constraint edges by class.
+pub fn classify_edges(dag: &PersistDag, layout: &QueueLayout) -> HashMap<DepClass, u64> {
+    let mut counts = HashMap::new();
+    let node_kind = |id: u32| {
+        let n = &dag.nodes()[id as usize];
+        let addr = n.writes[0].addr;
+        (layout.is_head(addr), n.work())
+    };
+    for (from, to) in dag.edges() {
+        let (from_head, from_work) = node_kind(from);
+        let (to_head, to_work) = node_kind(to);
+        let same_insert = from_work.is_some() && from_work == to_work;
+        let class = match (from_head, to_head) {
+            (false, true) if same_insert => DepClass::RequiredDataToHead,
+            (true, true) => DepClass::RequiredHeadOrder,
+            (false, false) if same_insert => DepClass::UnnecessaryIntraInsert,
+            (false, false) => DepClass::UnnecessaryCrossInsert,
+            (false, true) => DepClass::UnnecessaryCrossInsert,
+            (true, false) => DepClass::UnnecessaryCrossInsert,
+        };
+        *counts.entry(class).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{cwl_trace, StdWorkload};
+    use persistency::{AnalysisConfig, Model};
+    use pqueue::traced::BarrierMode;
+
+    fn classified(model: Model) -> HashMap<DepClass, u64> {
+        let w = StdWorkload { threads: 1, inserts_per_thread: 10, capacity_entries: 64, seed: 3 };
+        let (trace, layout) = cwl_trace(&w, BarrierMode::Full);
+        let dag = PersistDag::build(&trace, &AnalysisConfig::new(model)).unwrap();
+        classify_edges(&dag, &layout)
+    }
+
+    #[test]
+    fn strict_has_intra_insert_serialization() {
+        let c = classified(Model::Strict);
+        assert!(c.get(&DepClass::UnnecessaryIntraInsert).copied().unwrap_or(0) > 0);
+        assert!(c.get(&DepClass::RequiredDataToHead).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn epoch_removes_a_edges() {
+        let c = classified(Model::Epoch);
+        assert_eq!(c.get(&DepClass::UnnecessaryIntraInsert).copied().unwrap_or(0), 0);
+        // Data persists still feed the head persist.
+        assert!(c.get(&DepClass::RequiredDataToHead).copied().unwrap_or(0) > 0);
+        // But cross-insert serialization (B) remains under non-racing epoch.
+        assert!(c.get(&DepClass::UnnecessaryCrossInsert).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn strand_removes_b_edges() {
+        let c = classified(Model::Strand);
+        assert_eq!(c.get(&DepClass::UnnecessaryIntraInsert).copied().unwrap_or(0), 0);
+        assert_eq!(c.get(&DepClass::UnnecessaryCrossInsert).copied().unwrap_or(0), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Formats a floating value compactly: 3 significant-ish decimals for
+/// small numbers, thousands separators are not needed for our report
+/// sizes.
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Formats a rate in inserts/second with an SI suffix.
+pub fn rate(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    if x >= 1e9 {
+        format!("{:.2}G/s", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M/s", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k/s", x / 1e3)
+    } else {
+        format!("{x:.1}/s")
+    }
+}
+
+/// Renders rows as an aligned table with a header and a separator line.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.034), "0.034");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1234.5), "1234"); // rounded
+        assert_eq!(num(f64::INFINITY), "inf");
+        assert_eq!(num(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn rate_formats() {
+        assert_eq!(rate(3_900_000.0), "3.90M/s");
+        assert_eq!(rate(133_000.0), "133.0k/s");
+        assert_eq!(rate(12.0), "12.0/s");
+    }
+
+    #[test]
+    fn table_aligns() {
+        let t = table(
+            &["model", "cp"],
+            &[vec!["strict".into(), "15".into()], vec!["epoch".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[2].trim_start().starts_with("strict"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one experiment (see DESIGN.md's
+//! per-experiment index); this library holds the common pieces: standard
+//! workload constructors, the Figure 2 dependence classifier, and plain
+//! text table formatting.
+
+#![warn(missing_docs)]
+
+pub mod deps;
+pub mod fmt;
+pub mod workloads;
+
+pub use workloads::{cwl_trace, tlc_trace, StdWorkload};

@@ -1,0 +1,78 @@
+//! Standard workload constructors matching the paper's methodology (§7):
+//! 100-byte entries, 64-byte padding, MCS locks, deterministic seeded
+//! interleaving for reproducibility.
+
+use mem_trace::{SeededScheduler, Trace, TracedMem};
+use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
+
+/// Sizing of a standard experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct StdWorkload {
+    /// Simulated threads.
+    pub threads: u32,
+    /// Inserts each thread performs.
+    pub inserts_per_thread: u64,
+    /// Queue capacity in entries (large enough that the figures' runs do
+    /// not wrap unless wrap is the point).
+    pub capacity_entries: u64,
+    /// Interleaving seed.
+    pub seed: u64,
+}
+
+impl StdWorkload {
+    /// A figure-scale workload: enough inserts for the per-insert critical
+    /// path to converge.
+    pub fn figure(threads: u32, inserts_per_thread: u64) -> Self {
+        StdWorkload {
+            threads,
+            inserts_per_thread,
+            capacity_entries: (threads as u64 * inserts_per_thread).next_power_of_two().max(64),
+            seed: 42,
+        }
+    }
+
+    /// Total inserts across threads.
+    pub fn total_inserts(&self) -> u64 {
+        self.threads as u64 * self.inserts_per_thread
+    }
+}
+
+/// Captures a Copy While Locked trace under the given barrier mode.
+pub fn cwl_trace(w: &StdWorkload, mode: BarrierMode) -> (Trace, QueueLayout) {
+    run_cwl_workload(
+        TracedMem::new(SeededScheduler::new(w.seed)),
+        QueueParams::new(w.capacity_entries),
+        mode,
+        w.threads,
+        w.inserts_per_thread,
+    )
+}
+
+/// Captures a Two-Lock Concurrent trace.
+pub fn tlc_trace(w: &StdWorkload) -> (Trace, QueueLayout) {
+    run_2lc_workload(
+        TracedMem::new(SeededScheduler::new(w.seed)),
+        QueueParams::new(w.capacity_entries),
+        w.threads,
+        w.inserts_per_thread,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_workload_avoids_wrap() {
+        let w = StdWorkload::figure(8, 100);
+        assert!(w.capacity_entries >= w.total_inserts());
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let w = StdWorkload { threads: 2, inserts_per_thread: 5, capacity_entries: 64, seed: 9 };
+        let (a, _) = cwl_trace(&w, BarrierMode::Full);
+        let (b, _) = cwl_trace(&w, BarrierMode::Full);
+        assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,263 @@
+//! The Figure 1 analysis: unenforceable persist orders.
+//!
+//! §4.3 of the paper shows that a system cannot simultaneously (1) let
+//! store visibility reorder across persist barriers, (2) enforce persist
+//! barriers, and (3) guarantee strong persist atomicity: the *intended*
+//! persist order then contains a cycle. This module builds that intended
+//! order from a trace — barrier edges from each thread's **program order**,
+//! strong-persist-atomicity edges from the **visibility order** — and
+//! detects cycles.
+//!
+//! For traces produced by the SC capture executor the two orders coincide
+//! and no cycle can arise; hand-built traces
+//! ([`mem_trace::TraceBuilder::set_visibility`]) model relaxed store
+//! visibility and can reproduce the paper's cycle.
+
+use mem_trace::{Op, Trace};
+use persist_mem::TrackingGranularity;
+use std::collections::HashMap;
+
+/// One edge in the intended persist order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntendedEdge {
+    /// Trace index of the earlier persist.
+    pub from: usize,
+    /// Trace index of the later persist.
+    pub to: usize,
+    /// Why the order is required.
+    pub kind: EdgeKind,
+}
+
+/// Source of an intended persist-order constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Persist barrier in program order (§5.2 rule 1).
+    Barrier,
+    /// Strong persist atomicity: same-address persists follow the
+    /// visibility (store serialization) order (§4.3).
+    Atomicity,
+}
+
+/// The intended persist order of a trace: nodes are persists (by trace
+/// index), edges are barrier and strong-persist-atomicity constraints.
+#[derive(Debug, Clone)]
+pub struct IntendedOrder {
+    /// Trace indices of the persists, in visibility order.
+    pub persists: Vec<usize>,
+    /// Required ordering edges.
+    pub edges: Vec<IntendedEdge>,
+}
+
+impl IntendedOrder {
+    /// Builds the intended order of `trace` with strong persist atomicity
+    /// tracked at `tracking` granularity.
+    ///
+    /// Program order (for barrier edges) comes from each event's `po`
+    /// field; visibility order (for atomicity edges) is the trace order.
+    /// `NewStrand` clears the barrier context of the issuing thread, as
+    /// under strand persistency.
+    pub fn build(trace: &Trace, tracking: TrackingGranularity) -> Self {
+        // Reconstruct per-thread program order.
+        let mut by_thread: HashMap<u32, Vec<(u32, usize)>> = HashMap::new();
+        for (idx, e) in trace.events().iter().enumerate() {
+            by_thread.entry(e.thread.0).or_default().push((e.po, idx));
+        }
+        let mut edges = Vec::new();
+        // Barrier edges: within each thread's program order, every persist
+        // before a barrier precedes every persist after it. Emit the
+        // transitive reduction: last-epoch persists → next-epoch persists.
+        for prog in by_thread.values_mut() {
+            prog.sort_unstable();
+            let mut before: Vec<usize> = Vec::new(); // persists of completed epochs (frontier)
+            let mut current: Vec<usize> = Vec::new();
+            for &(_, idx) in prog.iter() {
+                match trace.events()[idx].op {
+                    Op::PersistBarrier | Op::PersistSync
+                        if !current.is_empty() => {
+                            before = std::mem::take(&mut current);
+                        }
+                    Op::NewStrand => {
+                        before.clear();
+                        current.clear();
+                    }
+                    ref op if op.is_persist() => {
+                        for &b in &before {
+                            edges.push(IntendedEdge { from: b, to: idx, kind: EdgeKind::Barrier });
+                        }
+                        current.push(idx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Atomicity edges: persists to the same tracking block, in
+        // visibility order (adjacent pairs).
+        let mut last_to_block: HashMap<u64, usize> = HashMap::new();
+        let mut persists = Vec::new();
+        for (idx, e) in trace.events().iter().enumerate() {
+            if !e.op.is_persist() {
+                continue;
+            }
+            persists.push(idx);
+            let (addr, len) = e.op.access().expect("persist accesses memory");
+            for blk in tracking.blocks_of(addr, len as u64) {
+                if let Some(&prev) = last_to_block.get(&blk.to_bits()) {
+                    edges.push(IntendedEdge { from: prev, to: idx, kind: EdgeKind::Atomicity });
+                }
+                last_to_block.insert(blk.to_bits(), idx);
+            }
+        }
+        edges.sort_unstable_by_key(|e| (e.from, e.to));
+        edges.dedup_by_key(|e| (e.from, e.to));
+        IntendedOrder { persists, edges }
+    }
+
+    /// Finds a cycle in the intended order, if any, returned as the trace
+    /// indices of the persists along it. `None` means the intended order is
+    /// enforceable (a DAG).
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // Iterative DFS with colors over the persist indices.
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for e in &self.edges {
+            adj.entry(e.from).or_default().push(e.to);
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<usize, Color> =
+            self.persists.iter().map(|&p| (p, Color::White)).collect();
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        for &root in &self.persists {
+            if color[&root] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-child-index).
+            let mut stack = vec![(root, 0usize)];
+            color.insert(root, Color::Gray);
+            while let Some(&(u, ci)) = stack.last() {
+                let children = adj.get(&u).map(|v| v.as_slice()).unwrap_or(&[]);
+                if ci < children.len() {
+                    stack.last_mut().expect("stack is nonempty").1 += 1;
+                    let v = children[ci];
+                    match color[&v] {
+                        Color::White => {
+                            parent.insert(v, u);
+                            color.insert(v, Color::Gray);
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge u → v: walk parents from u
+                            // back to v.
+                            let mut cycle = vec![v];
+                            let mut cur = u;
+                            while cur != v {
+                                cycle.push(cur);
+                                cur = parent[&cur];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(u, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::TraceBuilder;
+    use persist_mem::MemAddr;
+
+    /// The paper's Figure 1: two threads persist A and B in opposite
+    /// program orders with a barrier between; thread 1's store visibility
+    /// reorders across its barrier.
+    fn figure1(reordered: bool) -> Trace {
+        let a = MemAddr::persistent(0);
+        let b = MemAddr::persistent(64);
+        let mut tb = TraceBuilder::new(2);
+        // Thread 0 program: persist A; barrier; persist B.
+        tb.store(0, a, 10).persist_barrier(0).store(0, b, 11);
+        // Thread 1 program: persist B; barrier; persist A.
+        tb.store(1, b, 20).persist_barrier(1).store(1, a, 21);
+        if reordered {
+            // Visibility: t0's B first, then t1's B, t1's A, t0's A — the
+            // interleaving of Figure 1 (t0's stores visible out of program
+            // order).
+            tb.set_visibility(vec![(0, 2), (1, 0), (1, 1), (1, 2), (0, 0), (0, 1)]);
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn figure1_cycle_detected_with_reordered_visibility() {
+        let t = figure1(true);
+        let order = IntendedOrder::build(&t, TrackingGranularity::default());
+        let cycle = order.find_cycle().expect("Figure 1 must contain a cycle");
+        assert!(cycle.len() >= 2);
+        // Every consecutive pair in the cycle is a required edge.
+        for w in cycle.windows(2) {
+            assert!(order.edges.iter().any(|e| e.from == w[0] && e.to == w[1]));
+        }
+    }
+
+    #[test]
+    fn figure1_without_reordering_is_acyclic() {
+        let t = figure1(false);
+        let order = IntendedOrder::build(&t, TrackingGranularity::default());
+        assert_eq!(order.find_cycle(), None);
+    }
+
+    #[test]
+    fn sc_captured_traces_are_always_acyclic() {
+        use mem_trace::{SeededScheduler, TracedMem};
+        let mem = TracedMem::new(SeededScheduler::new(21));
+        let t = mem.run(4, |ctx| {
+            let a = MemAddr::persistent(64 * ctx.thread_id().as_u64());
+            let shared = MemAddr::persistent(4096);
+            for i in 0..20 {
+                ctx.store_u64(a, i);
+                ctx.persist_barrier();
+                ctx.store_u64(shared, i);
+            }
+        });
+        t.validate_sc().unwrap();
+        let order = IntendedOrder::build(&t, TrackingGranularity::default());
+        assert_eq!(order.find_cycle(), None);
+    }
+
+    #[test]
+    fn strand_barrier_clears_barrier_edges() {
+        let a = MemAddr::persistent(0);
+        let b = MemAddr::persistent(64);
+        let mut tb = TraceBuilder::new(1);
+        tb.store(0, a, 1).persist_barrier(0).new_strand(0).store(0, b, 2);
+        let order = IntendedOrder::build(&tb.build(), TrackingGranularity::default());
+        assert!(order.edges.is_empty(), "strand cleared the barrier context");
+    }
+
+    #[test]
+    fn barrier_edges_use_epoch_frontier() {
+        // p1; barrier; p2; barrier; p3 → edges p1→p2, p2→p3 (not p1→p3).
+        let a = MemAddr::persistent(0);
+        let mut tb = TraceBuilder::new(1);
+        tb.store(0, a, 1)
+            .persist_barrier(0)
+            .store(0, a.add(64), 2)
+            .persist_barrier(0)
+            .store(0, a.add(128), 3);
+        let order = IntendedOrder::build(&tb.build(), TrackingGranularity::default());
+        let barrier_edges: Vec<_> =
+            order.edges.iter().filter(|e| e.kind == EdgeKind::Barrier).collect();
+        assert_eq!(barrier_edges.len(), 2);
+    }
+}

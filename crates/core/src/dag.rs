@@ -1,0 +1,407 @@
+//! Explicit persist-order constraint DAG.
+//!
+//! Where [`crate::timing`] summarizes dependences as scalar levels, this
+//! module materializes the full DAG of persists and constraints under a
+//! persistency model. The DAG is what the paper's *recovery observer*
+//! needs: any down-closed set of persists (a consistent cut) is a state the
+//! observer may witness at failure.
+//!
+//! Exact reachability is kept as per-node bitsets, so DAG construction is
+//! quadratic in the number of persists; it is intended for crash-checking
+//! traces (hundreds to a few thousand persists), not the figure-scale
+//! timing runs — use [`crate::timing`] for those.
+
+use crate::domain::{Domain, EventRef, WriteRec};
+use crate::engine::{self, EngineStats};
+use crate::AnalysisConfig;
+use core::fmt;
+use mem_trace::{ThreadId, Trace};
+
+/// Hard cap on DAG nodes (reachability bitsets are quadratic).
+pub const MAX_DAG_NODES: usize = 100_000;
+
+/// One persist operation (possibly several coalesced stores) in the DAG.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// Direct predecessors (maximal elements of the incoming constraint).
+    pub deps: Vec<u32>,
+    /// The stores folded into this persist, in trace order.
+    pub writes: Vec<WriteRec>,
+    /// Provenance of each store in `writes`.
+    pub events: Vec<EventRef>,
+    /// Thread that created the persist.
+    pub thread: ThreadId,
+}
+
+impl DagNode {
+    /// Work item of the creating store, if any.
+    pub fn work(&self) -> Option<u64> {
+        self.events.first().and_then(|e| e.work)
+    }
+
+    /// Trace index of the creating store.
+    pub fn first_index(&self) -> usize {
+        self.events.first().map(|e| e.index).unwrap_or(0)
+    }
+}
+
+/// Dense bitset over node ids.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// DAG construction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DagError {
+    /// The trace contains more persists than [`MAX_DAG_NODES`].
+    TooManyPersists {
+        /// Number of persists encountered when the cap was hit.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::TooManyPersists { count } => write!(
+                f,
+                "trace has over {count} persists; use the timing engine for large traces"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Set domain: a dependence is the antichain of persists that must happen
+/// before; reachability bitsets make joins and coalescing checks exact.
+#[derive(Debug, Default)]
+struct DagDomain {
+    nodes: Vec<DagNode>,
+    /// reach[i] = nodes reachable from i, including i itself.
+    reach: Vec<BitSet>,
+    overflow: bool,
+}
+
+impl DagDomain {
+    fn dominated(&self, x: u32, by: u32) -> bool {
+        self.reach[by as usize].get(x as usize)
+    }
+}
+
+impl Domain for DagDomain {
+    type Dep = Vec<u32>;
+    type PRef = u32;
+
+    fn bottom(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn join(&mut self, into: &mut Vec<u32>, from: &Vec<u32>) {
+        if from.is_empty() {
+            return;
+        }
+        for &x in from {
+            if !into.contains(&x) {
+                into.push(x);
+            }
+        }
+        // Keep only maximal elements (exact dominance via reachability).
+        let snapshot = into.clone();
+        into.retain(|&x| !snapshot.iter().any(|&y| y != x && self.dominated(x, y)));
+        into.sort_unstable();
+    }
+
+    fn new_persist(&mut self, input: &Vec<u32>, w: WriteRec, ev: EventRef) -> u32 {
+        if self.nodes.len() >= MAX_DAG_NODES {
+            self.overflow = true;
+            // Keep returning the last node; build() reports the error.
+            return (self.nodes.len() - 1) as u32;
+        }
+        let id = self.nodes.len() as u32;
+        let mut reach = BitSet::default();
+        for &d in input {
+            let other = self.reach[d as usize].clone();
+            reach.union_with(&other);
+        }
+        reach.set(id as usize);
+        self.reach.push(reach);
+        self.nodes.push(DagNode {
+            deps: input.clone(),
+            writes: vec![w],
+            events: vec![ev],
+            thread: ev.thread,
+        });
+        id
+    }
+
+    fn can_coalesce(&self, input: &Vec<u32>, target: u32) -> bool {
+        input.iter().all(|&x| self.dominated(x, target))
+    }
+
+    fn coalesce(&mut self, target: u32, w: WriteRec, ev: EventRef) {
+        let n = &mut self.nodes[target as usize];
+        n.writes.push(w);
+        n.events.push(ev);
+    }
+
+    fn dep_of(&self, p: u32) -> Vec<u32> {
+        vec![p]
+    }
+}
+
+/// The persist-order constraint DAG of a trace under a persistency model.
+#[derive(Debug, Clone)]
+pub struct PersistDag {
+    config: AnalysisConfig,
+    nodes: Vec<DagNode>,
+    reach: Vec<BitSet>,
+    stats: EngineStats,
+}
+
+impl PersistDag {
+    /// Builds the DAG of `trace` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::TooManyPersists`] if the trace exceeds
+    /// [`MAX_DAG_NODES`] distinct persists.
+    pub fn build(trace: &Trace, config: &AnalysisConfig) -> Result<Self, DagError> {
+        let mut dom = DagDomain::default();
+        let stats = engine::run(trace, config, &mut dom);
+        if dom.overflow {
+            return Err(DagError::TooManyPersists { count: dom.nodes.len() });
+        }
+        Ok(PersistDag { config: *config, nodes: dom.nodes, reach: dom.reach, stats })
+    }
+
+    /// The analysis configuration the DAG was built under.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The persist nodes, in creation (trace) order.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// Number of persist nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the trace contained no persists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Engine statistics from construction.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// `true` if node `b` transitively depends on node `a` (or `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn depends_on(&self, b: u32, a: u32) -> bool {
+        assert!((b as usize) < self.nodes.len() && (a as usize) < self.nodes.len());
+        self.reach[b as usize].get(a as usize)
+    }
+
+    /// All constraint edges `(from, to)` with `from` a direct predecessor
+    /// of `to`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(to, n)| n.deps.iter().map(move |&from| (from, to as u32)))
+    }
+
+    /// Longest path through the DAG in nodes — must agree with the timing
+    /// engine's critical path for the same trace and configuration.
+    pub fn critical_path(&self) -> u64 {
+        let mut depth = vec![0u64; self.nodes.len()];
+        let mut best = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            // Nodes are created in trace order, so deps precede i.
+            let d = 1 + n.deps.iter().map(|&p| depth[p as usize]).max().unwrap_or(0);
+            depth[i] = d;
+            best = best.max(d);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{timing, Model};
+    use mem_trace::{FreeRunScheduler, SeededScheduler, TracedMem};
+
+    fn cfg(model: Model) -> AnalysisConfig {
+        AnalysisConfig::new(model)
+    }
+
+    #[test]
+    fn simple_chain() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(64, 8).unwrap();
+            ctx.store_u64(a, 1);
+            ctx.persist_barrier();
+            ctx.store_u64(a.add(8), 2);
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Epoch)).unwrap();
+        assert_eq!(dag.len(), 2);
+        assert_eq!(dag.nodes()[1].deps, vec![0]);
+        assert!(dag.depends_on(1, 0));
+        assert!(!dag.depends_on(0, 1));
+        assert_eq!(dag.critical_path(), 2);
+    }
+
+    #[test]
+    fn fan_out_within_epoch() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(256, 64).unwrap();
+            ctx.store_u64(a, 1);
+            ctx.persist_barrier();
+            for i in 1..5 {
+                ctx.store_u64(a.add(8 * i), i);
+            }
+            ctx.persist_barrier();
+            ctx.store_u64(a.add(48), 9);
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Epoch)).unwrap();
+        assert_eq!(dag.len(), 6);
+        // Middle four all depend directly on node 0, and the last on all
+        // four (maximal frontier).
+        for i in 1..5 {
+            assert_eq!(dag.nodes()[i].deps, vec![0]);
+        }
+        assert_eq!(dag.nodes()[5].deps, vec![1, 2, 3, 4]);
+        assert_eq!(dag.critical_path(), 3);
+    }
+
+    #[test]
+    fn coalesced_writes_share_a_node() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(64, 8).unwrap();
+            ctx.store_u64(a, 1);
+            ctx.store_u64(a, 2);
+            ctx.store_u64(a, 3);
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Epoch)).unwrap();
+        assert_eq!(dag.len(), 1);
+        assert_eq!(dag.nodes()[0].writes.len(), 3);
+        assert_eq!(dag.stats().coalesced, 2);
+    }
+
+    #[test]
+    fn dominance_pruning_keeps_frontier_small() {
+        // A long strict chain: every node's frontier is exactly its
+        // predecessor.
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(2048, 64).unwrap();
+            for i in 0..100 {
+                ctx.store_u64(a.add(8 * i), i);
+            }
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Strict)).unwrap();
+        assert_eq!(dag.len(), 100);
+        for (i, n) in dag.nodes().iter().enumerate().skip(1) {
+            assert_eq!(n.deps, vec![i as u32 - 1]);
+        }
+    }
+
+    #[test]
+    fn critical_path_matches_timing_engine_strict_single_thread() {
+        // Under strict persistency a single thread's persists are totally
+        // ordered, so the timing engine's timestamp-based coalescing check
+        // and the DAG engine's exact dominance check coincide and the two
+        // critical paths must be identical.
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(256, 64).unwrap();
+            for i in 0..50 {
+                ctx.store_u64(a.add(8 * (i % 8)), i);
+                if i % 3 == 0 {
+                    ctx.persist_barrier();
+                }
+            }
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Strict)).unwrap();
+        let rep = timing::analyze(&t, &cfg(Model::Strict));
+        assert_eq!(dag.critical_path(), rep.critical_path);
+        assert_eq!(dag.len() as u64, rep.persist_nodes);
+    }
+
+    #[test]
+    fn dag_is_at_least_as_constrained_as_timing() {
+        // Multithreaded, the DAG's exact dominance check may refuse a
+        // coalesce the paper's timestamp check would allow, so the DAG's
+        // critical path bounds the timing engine's from above.
+        for model in Model::ALL {
+            let mem = TracedMem::new(SeededScheduler::new(5));
+            let t = mem.run(3, |ctx| {
+                let base = 4096 * (1 + ctx.thread_id().as_u64());
+                let a = persist_mem::MemAddr::persistent(base);
+                for i in 0..30 {
+                    ctx.store_u64(a.add(8 * (i % 8)), i);
+                    if i % 3 == 0 {
+                        ctx.persist_barrier();
+                    }
+                    if i % 7 == 0 {
+                        ctx.new_strand();
+                    }
+                }
+            });
+            let dag = PersistDag::build(&t, &cfg(model)).unwrap();
+            let rep = timing::analyze(&t, &cfg(model));
+            assert!(dag.critical_path() >= rep.critical_path, "model {model}");
+            assert!(dag.len() as u64 >= rep.persist_nodes, "model {model}");
+        }
+    }
+
+    #[test]
+    fn edges_iterate_all_deps() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let t = mem.run(1, |ctx| {
+            let a = ctx.palloc(64, 8).unwrap();
+            ctx.store_u64(a, 1);
+            ctx.persist_barrier();
+            ctx.store_u64(a.add(8), 2);
+        });
+        let dag = PersistDag::build(&t, &cfg(Model::Epoch)).unwrap();
+        assert_eq!(dag.edges().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The dependence domain abstraction shared by the timing and DAG engines.
+//!
+//! The persistency-model propagation rules (how persist-order constraints
+//! flow through thread and memory state, §7 "Persist Timing Simulation")
+//! are identical whether the analysis tracks scalar critical-path *levels*
+//! (fast, for the figures) or explicit *node sets* (exact, for the recovery
+//! observer). [`Domain`] abstracts over the representation; the engine in
+//! [`crate::engine`] is written once against it.
+
+use mem_trace::ThreadId;
+use persist_mem::MemAddr;
+
+/// A single write performed by a persist, for later replay by the recovery
+/// observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRec {
+    /// First byte written.
+    pub addr: MemAddr,
+    /// Width in bytes (1..=8).
+    pub len: u8,
+    /// Value written (little-endian, low `len` bytes).
+    pub value: u64,
+}
+
+/// Provenance of a persist: where in the trace it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRef {
+    /// Index of the store in the trace's visibility order.
+    pub index: usize,
+    /// Issuing thread.
+    pub thread: ThreadId,
+    /// Enclosing work item (from `WorkBegin` markers), if any.
+    pub work: Option<u64>,
+}
+
+/// Representation of persist-order dependences.
+///
+/// `Dep` is a join-semilattice element summarizing "the persists that must
+/// happen before"; `PRef` identifies an existing persist operation as a
+/// coalescing target.
+pub(crate) trait Domain {
+    /// Accumulated dependence constraint.
+    type Dep: Clone;
+    /// Handle to a created persist (coalescing target).
+    type PRef: Copy;
+
+    /// The empty constraint.
+    fn bottom(&self) -> Self::Dep;
+
+    /// `into ⊔= from`.
+    fn join(&mut self, into: &mut Self::Dep, from: &Self::Dep);
+
+    /// Creates a new persist ordered after `input`.
+    fn new_persist(&mut self, input: &Self::Dep, w: WriteRec, ev: EventRef) -> Self::PRef;
+
+    /// `true` if a persist with incoming constraint `input` may coalesce
+    /// into `target` — i.e. every dependence in `input` is already ordered
+    /// at or before `target` (§7: coalescing must not violate any persist
+    /// order constraint).
+    fn can_coalesce(&self, input: &Self::Dep, target: Self::PRef) -> bool;
+
+    /// Merges a persist into `target` (must only be called after
+    /// [`Domain::can_coalesce`] returned `true`).
+    fn coalesce(&mut self, target: Self::PRef, w: WriteRec, ev: EventRef);
+
+    /// The constraint "ordered after persist `p`".
+    fn dep_of(&self, p: Self::PRef) -> Self::Dep;
+}

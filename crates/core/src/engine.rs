@@ -1,0 +1,273 @@
+//! Generic persist-order constraint propagation over a trace.
+//!
+//! Implements the per-model propagation rules of §5 against any
+//! [`Domain`](crate::domain::Domain):
+//!
+//! - **Thread state**: `prev` holds constraints that order all *future*
+//!   persists of the thread; `cur` accumulates constraints observed since
+//!   the last persist barrier. Strict persistency folds `cur` into `prev`
+//!   after every access (every access is "barrier-separated"); epoch-style
+//!   models fold at `PersistBarrier`; strand persistency additionally
+//!   clears both at `NewStrand`.
+//! - **Memory state**: each tracking-granularity block records the
+//!   constraint carried by its last writer and by readers since that write.
+//!   Conflicting accesses inherit these per the model's conflict-detection
+//!   rules (SC for strict/epoch; TSO-style persistent-space-only for BPFS;
+//!   strong-persist-atomicity-only for strand).
+//! - **Coalescing**: every persist attempts to coalesce with the last
+//!   persist to its atomic-persist block; it may iff none of its incoming
+//!   dependences is newer than that persist.
+
+use crate::domain::{Domain, EventRef, WriteRec};
+use crate::{AnalysisConfig, Model};
+use mem_trace::{Op, Trace};
+use std::collections::HashMap;
+
+struct ThreadState<D: Domain> {
+    /// Constraints ordering all future persists of this thread.
+    prev: D::Dep,
+    /// Constraints observed since the last barrier (fold into `prev` at the
+    /// next barrier).
+    cur: D::Dep,
+    /// Currently open work item.
+    work: Option<u64>,
+}
+
+struct BlockState<D: Domain> {
+    /// Constraint carried by the last write to this block.
+    writer: D::Dep,
+    /// Join of constraints carried by reads since the last write.
+    readers: D::Dep,
+}
+
+/// Aggregate statistics from an engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of persist operations (stores/RMWs to persistent space).
+    pub persist_ops: u64,
+    /// Persist operations that coalesced into an earlier persist.
+    pub coalesced: u64,
+    /// Completed work items (`WorkEnd` markers).
+    pub work_items: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Persist barriers seen.
+    pub barriers: u64,
+    /// Strand barriers seen.
+    pub strands: u64,
+}
+
+/// Runs the propagation over `trace` under `config`, driving `dom`.
+pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D) -> EngineStats {
+    let model = config.model;
+    let tracking = config.tracking;
+    let atomic = config.atomic_persist;
+
+    let mut threads: Vec<ThreadState<D>> = (0..trace.thread_count())
+        .map(|_| ThreadState { prev: dom.bottom(), cur: dom.bottom(), work: None })
+        .collect();
+    let mut blocks: HashMap<u64, BlockState<D>> = HashMap::new();
+    let mut last_persist: HashMap<u64, D::PRef> = HashMap::new();
+    let mut stats = EngineStats::default();
+
+    for (index, e) in trace.events().iter().enumerate() {
+        stats.events += 1;
+        let t = e.thread.index();
+        match e.op {
+            Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
+                let is_read = e.op.is_read();
+                let is_write = e.op.is_write();
+                let is_persist = e.op.is_persist();
+
+                // 1. Incoming constraint: thread program-order component
+                //    plus conflict inheritance from the touched blocks.
+                let mut input = threads[t].prev.clone();
+                for blk in tracking.blocks_of(addr, len as u64) {
+                    if !block_participates(model, blk.space) {
+                        continue;
+                    }
+                    if let Some(bs) = blocks.get(&blk.to_bits()) {
+                        match model {
+                            Model::Strict | Model::StrictRmo | Model::Epoch => {
+                                // SC conflicts: a read is ordered after the
+                                // last write; a write after the last write
+                                // and all reads since (load-before-store).
+                                if is_read || is_write {
+                                    dom.join(&mut input, &bs.writer);
+                                }
+                                if is_write {
+                                    dom.join(&mut input, &bs.readers);
+                                }
+                            }
+                            Model::Bpfs => {
+                                // TSO-style: only the last persist's record
+                                // is visible; read-before-write races are
+                                // not detected.
+                                dom.join(&mut input, &bs.writer);
+                            }
+                            Model::Strand => {
+                                // Only strong persist atomicity: the block
+                                // state carries the last persist itself.
+                                dom.join(&mut input, &bs.writer);
+                            }
+                        }
+                    }
+                }
+
+                // 2. The persist itself: coalesce or create.
+                let mut out = input.clone();
+                let mut persist_dep: Option<D::Dep> = None;
+                if is_persist {
+                    stats.persist_ops += 1;
+                    let w = WriteRec {
+                        addr,
+                        len,
+                        value: e.op.written_value().expect("persist writes a value"),
+                    };
+                    let ev = EventRef { index, thread: e.thread, work: threads[t].work };
+                    let dep = if atomic.contains_access(addr, len as u64) {
+                        let ab = atomic.block_of(addr).to_bits();
+                        match last_persist.get(&ab) {
+                            Some(&p) if config.coalescing && dom.can_coalesce(&input, p) => {
+                                stats.coalesced += 1;
+                                dom.coalesce(p, w, ev);
+                                dom.dep_of(p)
+                            }
+                            _ => {
+                                let p = dom.new_persist(&input, w, ev);
+                                last_persist.insert(ab, p);
+                                dom.dep_of(p)
+                            }
+                        }
+                    } else {
+                        // A persist spanning atomic blocks is not atomic
+                        // with respect to failure: it never coalesces, and
+                        // nothing may coalesce with it.
+                        let p = dom.new_persist(&input, w, ev);
+                        for ab in atomic.blocks_of(addr, len as u64) {
+                            last_persist.remove(&ab.to_bits());
+                        }
+                        dom.dep_of(p)
+                    };
+                    dom.join(&mut out, &dep);
+                    persist_dep = Some(dep);
+                }
+
+                // 3. Update block state.
+                for blk in tracking.blocks_of(addr, len as u64) {
+                    if !block_participates(model, blk.space) {
+                        continue;
+                    }
+                    let bs = blocks.entry(blk.to_bits()).or_insert_with(|| BlockState {
+                        writer: dom.bottom(),
+                        readers: dom.bottom(),
+                    });
+                    match model {
+                        Model::Strict | Model::StrictRmo | Model::Epoch => {
+                            if is_write {
+                                bs.writer = out.clone();
+                                // The write's constraint dominates prior
+                                // readers (they fed its input).
+                                bs.readers = dom.bottom();
+                            } else {
+                                dom.join(&mut bs.readers, &out);
+                            }
+                        }
+                        Model::Bpfs => {
+                            if is_write {
+                                bs.writer = out.clone();
+                            }
+                            // Reads leave no record: the R→W race is the
+                            // conflict BPFS's per-line epoch tags miss.
+                        }
+                        Model::Strand => {
+                            // Only the persist itself is remembered: strong
+                            // persist atomicity orders persists to the same
+                            // address, and reads inherit the last persist
+                            // (the §5.3 "read then barrier then persist"
+                            // idiom) — but non-persist context never flows
+                            // through memory.
+                            if let Some(dep) = &persist_dep {
+                                bs.writer = dep.clone();
+                            }
+                        }
+                    }
+                }
+
+                // 4. Update thread state.
+                match model {
+                    Model::Strict => {
+                        // Every access is ordered with its successors.
+                        let prev = &mut threads[t].prev;
+                        dom.join(prev, &out);
+                    }
+                    Model::StrictRmo | Model::Epoch | Model::Bpfs | Model::Strand => {
+                        let cur = &mut threads[t].cur;
+                        dom.join(cur, &out);
+                    }
+                }
+            }
+            Op::PersistBarrier => {
+                stats.barriers += 1;
+                // Under strict persistency on relaxed consistency there are
+                // no persist barriers: persistency is the consistency model.
+                if model != Model::StrictRmo {
+                    let st = &mut threads[t];
+                    let cur = std::mem::replace(&mut st.cur, dom.bottom());
+                    dom.join(&mut st.prev, &cur);
+                }
+            }
+            Op::PersistSync => {
+                // A sync stalls execution until persists drain, which
+                // orders every earlier persist before every later one
+                // under any model.
+                stats.barriers += 1;
+                let st = &mut threads[t];
+                let cur = std::mem::replace(&mut st.cur, dom.bottom());
+                dom.join(&mut st.prev, &cur);
+            }
+            Op::MemBarrier => {
+                // A consistency barrier orders store visibility; only
+                // strict persistency on a relaxed model derives persist
+                // order from it. (Under SC-strict everything is already
+                // ordered; epoch/strand persistency explicitly decouple
+                // store visibility from persist order, §4.2.)
+                if model == Model::StrictRmo {
+                    let st = &mut threads[t];
+                    let cur = std::mem::replace(&mut st.cur, dom.bottom());
+                    dom.join(&mut st.prev, &cur);
+                }
+            }
+            Op::NewStrand => {
+                stats.strands += 1;
+                if model == Model::Strand {
+                    let st = &mut threads[t];
+                    st.prev = dom.bottom();
+                    st.cur = dom.bottom();
+                }
+                // Other models ignore strand barriers, exactly as a
+                // machine without strand support would.
+            }
+            Op::WorkBegin { id } => threads[t].work = Some(id),
+            Op::WorkEnd { .. } => {
+                stats.work_items += 1;
+                threads[t].work = None;
+            }
+            Op::PAlloc { .. } | Op::PFree { .. } => {}
+        }
+    }
+    stats
+}
+
+/// Which address spaces participate in conflict tracking under each model.
+fn block_participates(model: Model, space: persist_mem::Space) -> bool {
+    match model {
+        // Coherent models inherit order through volatile memory too (§4:
+        // loads and stores to the volatile address space may still order
+        // persists).
+        Model::Strict | Model::StrictRmo | Model::Epoch => true,
+        // BPFS tracks only the persistent address space (§5.2); strand
+        // ordering arises only from strong persist atomicity.
+        Model::Bpfs | Model::Strand => space == persist_mem::Space::Persistent,
+    }
+}

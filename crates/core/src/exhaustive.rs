@@ -1,0 +1,399 @@
+//! Exhaustive checking over *all* SC interleavings of small programs.
+//!
+//! A single captured trace witnesses one interleaving; the paper's
+//! semantic claims ("persists between racing epochs may not be ordered",
+//! "strong persist atomicity serializes same-address persists") quantify
+//! over *every* legal execution. This module enumerates all sequentially
+//! consistent interleavings of a small multi-threaded [`Program`]
+//! (simulating load values along the way), analyzes each under a
+//! persistency model, and aggregates:
+//!
+//! - [`check_order`] — is persist B ordered after persist A in all /
+//!   some / no interleavings?
+//! - [`recovery_states`] — the union, over interleavings and consistent
+//!   cuts, of every persistent image a failure may expose.
+//!
+//! Sizes are deliberately tiny (the interleaving count is multinomial in
+//! the per-thread lengths); [`Program::count_interleavings`] lets callers
+//! check before running.
+
+use crate::dag::PersistDag;
+use crate::observer::RecoveryObserver;
+use crate::{AnalysisConfig, Model};
+use mem_trace::{Event, Op, ThreadId, Trace};
+use persist_mem::{MemAddr, MemoryImage, Space};
+use std::collections::BTreeSet;
+
+/// One operation of an exhaustive-checking program. Loads carry no value:
+/// the enumerator fills in whatever the interleaving produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POp {
+    /// 8-byte store.
+    Store {
+        /// Target address.
+        addr: MemAddr,
+        /// Value written.
+        value: u64,
+    },
+    /// 8-byte load; the observed value depends on the interleaving.
+    Load {
+        /// Source address.
+        addr: MemAddr,
+    },
+    /// Persist barrier.
+    PersistBarrier,
+    /// Memory consistency barrier.
+    MemBarrier,
+    /// Strand barrier.
+    NewStrand,
+    /// Persist sync.
+    PersistSync,
+}
+
+/// A small multi-threaded program for exhaustive analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Per-thread operation lists, in program order.
+    pub threads: Vec<Vec<POp>>,
+}
+
+/// Soft cap on enumerated interleavings; [`Program::for_each_trace`]
+/// panics beyond it so tests fail loudly instead of spinning.
+pub const MAX_INTERLEAVINGS: u128 = 500_000;
+
+impl Program {
+    /// Creates a program from per-thread op lists.
+    pub fn new(threads: Vec<Vec<POp>>) -> Self {
+        Program { threads }
+    }
+
+    /// Number of distinct interleavings (multinomial coefficient).
+    pub fn count_interleavings(&self) -> u128 {
+        let mut total: u128 = 1;
+        let mut placed: u128 = 0;
+        for t in &self.threads {
+            for k in 1..=(t.len() as u128) {
+                placed += 1;
+                total = total * placed / k; // binomial built incrementally
+            }
+        }
+        total
+    }
+
+    /// Runs `f` on the trace of every SC interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds [`MAX_INTERLEAVINGS`].
+    pub fn for_each_trace<F: FnMut(&Trace)>(&self, mut f: F) {
+        assert!(
+            self.count_interleavings() <= MAX_INTERLEAVINGS,
+            "program too large for exhaustive enumeration ({} interleavings)",
+            self.count_interleavings()
+        );
+        let mut pcs = vec![0usize; self.threads.len()];
+        let mut image = MemoryImage::new();
+        let mut events: Vec<Event> = Vec::new();
+        self.recurse(&mut pcs, &mut image, &mut events, &mut f);
+    }
+
+    fn recurse<F: FnMut(&Trace)>(
+        &self,
+        pcs: &mut [usize],
+        image: &mut MemoryImage,
+        events: &mut Vec<Event>,
+        f: &mut F,
+    ) {
+        let mut any = false;
+        for t in 0..self.threads.len() {
+            let pc = pcs[t];
+            if pc >= self.threads[t].len() {
+                continue;
+            }
+            any = true;
+            let pop = self.threads[t][pc];
+            // Apply.
+            let (op, undo) = match pop {
+                POp::Store { addr, value } => {
+                    let old = image.read_u64(addr).expect("in range");
+                    image.write_u64(addr, value).expect("in range");
+                    (Op::Store { addr, len: 8, value }, Some((addr, old)))
+                }
+                POp::Load { addr } => {
+                    let value = image.read_u64(addr).expect("in range");
+                    (Op::Load { addr, len: 8, value }, None)
+                }
+                POp::PersistBarrier => (Op::PersistBarrier, None),
+                POp::MemBarrier => (Op::MemBarrier, None),
+                POp::NewStrand => (Op::NewStrand, None),
+                POp::PersistSync => (Op::PersistSync, None),
+            };
+            events.push(Event { thread: ThreadId(t as u32), po: pc as u32, op });
+            pcs[t] += 1;
+            self.recurse(pcs, image, events, f);
+            // Undo.
+            pcs[t] -= 1;
+            events.pop();
+            if let Some((addr, old)) = undo {
+                image.write_u64(addr, old).expect("in range");
+            }
+        }
+        if !any {
+            let trace = Trace::from_events(self.threads.len() as u32, events.clone());
+            debug_assert!(trace.validate_sc().is_ok());
+            f(&trace);
+        }
+    }
+}
+
+/// Quantified persist-order relation between the first persists to `a`
+/// and `b` across all interleavings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderVerdict {
+    /// Ordered (or coalesced) in every interleaving.
+    Always,
+    /// Ordered in none.
+    Never,
+    /// Mixed: `(ordered_or_coalesced, total)` interleavings.
+    Sometimes(u64, u64),
+}
+
+/// Checks whether the first persist to `b` is ordered after the first
+/// persist to `a` under `model`, across every interleaving.
+///
+/// Interleavings where either address is never persisted are skipped.
+///
+/// # Panics
+///
+/// Panics if the program is too large (see [`MAX_INTERLEAVINGS`]).
+pub fn check_order(program: &Program, model: Model, a: MemAddr, b: MemAddr) -> OrderVerdict {
+    let cfg = AnalysisConfig::new(model);
+    let mut ordered = 0u64;
+    let mut total = 0u64;
+    program.for_each_trace(|trace| {
+        let dag = PersistDag::build(trace, &cfg).expect("tiny trace");
+        let find = |addr: MemAddr| {
+            dag.nodes().iter().position(|n| n.writes.iter().any(|w| w.addr == addr))
+        };
+        let (Some(na), Some(nb)) = (find(a), find(b)) else {
+            return;
+        };
+        total += 1;
+        if na == nb || dag.depends_on(nb as u32, na as u32) {
+            ordered += 1;
+        }
+    });
+    if total == 0 {
+        OrderVerdict::Never
+    } else if ordered == total {
+        OrderVerdict::Always
+    } else if ordered == 0 {
+        OrderVerdict::Never
+    } else {
+        OrderVerdict::Sometimes(ordered, total)
+    }
+}
+
+/// The union, over every interleaving and every consistent cut, of the
+/// persistent images a failure may expose. Images are returned as the
+/// byte content of the persistent space up to its extent.
+///
+/// # Panics
+///
+/// Panics if the program is too large, or a single interleaving admits
+/// more than `cut_limit` cuts.
+pub fn recovery_states(program: &Program, model: Model, cut_limit: usize) -> BTreeSet<Vec<u8>> {
+    let cfg = AnalysisConfig::new(model);
+    let mut states = BTreeSet::new();
+    program.for_each_trace(|trace| {
+        let dag = PersistDag::build(trace, &cfg).expect("tiny trace");
+        let obs = RecoveryObserver::new(&dag);
+        let cuts = obs
+            .enumerate_cuts(cut_limit)
+            .expect("cut lattice exceeds the limit; shrink the program");
+        for cut in cuts {
+            let img = obs.recover(&cut);
+            let extent = img.extent(Space::Persistent);
+            let mut bytes = vec![0u8; extent as usize];
+            img.read(MemAddr::persistent(0), &mut bytes).expect("in extent");
+            // Normalize trailing zeros so equal states compare equal
+            // regardless of image extent.
+            while bytes.last() == Some(&0) {
+                bytes.pop();
+            }
+            states.insert(bytes);
+        }
+    });
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: MemAddr = MemAddr::persistent(0);
+    const B: MemAddr = MemAddr::persistent(64);
+    const F: MemAddr = MemAddr::volatile(0);
+
+    #[test]
+    fn interleaving_count_is_multinomial() {
+        let p = Program::new(vec![
+            vec![POp::PersistBarrier; 3],
+            vec![POp::PersistBarrier; 2],
+        ]);
+        assert_eq!(p.count_interleavings(), 10); // C(5,3)
+        let mut n = 0;
+        p.for_each_trace(|_| n += 1);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn load_values_follow_the_interleaving() {
+        // t0 stores F=1; t1 loads F. Across the 2 interleavings the load
+        // must observe 0 once and 1 once.
+        let p = Program::new(vec![
+            vec![POp::Store { addr: F, value: 1 }],
+            vec![POp::Load { addr: F }],
+        ]);
+        let mut seen = Vec::new();
+        p.for_each_trace(|t| {
+            let Op::Load { value, .. } = t
+                .events()
+                .iter()
+                .find(|e| e.op.is_read())
+                .expect("load present")
+                .op
+            else {
+                panic!("expected load")
+            };
+            seen.push(value);
+            t.validate_sc().unwrap();
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_orders_in_every_interleaving() {
+        // Single thread: A; barrier; B — trivially always ordered under
+        // epoch; never under... strict-rmo ignores persist barriers.
+        let p = Program::new(vec![vec![
+            POp::Store { addr: A, value: 1 },
+            POp::PersistBarrier,
+            POp::Store { addr: B, value: 2 },
+        ]]);
+        assert_eq!(check_order(&p, Model::Epoch, A, B), OrderVerdict::Always);
+        assert_eq!(check_order(&p, Model::StrictRmo, A, B), OrderVerdict::Never);
+    }
+
+    #[test]
+    fn racing_epochs_are_sometimes_ordered() {
+        // t0: persist A; barrier; store F.   t1: load F; barrier; persist B.
+        // Under epoch persistency B is ordered after A exactly in the
+        // interleavings where t1's load observes t0's store (the conflict
+        // edge exists); in the others the persists race.
+        let p = Program::new(vec![
+            vec![
+                POp::Store { addr: A, value: 1 },
+                POp::PersistBarrier,
+                POp::Store { addr: F, value: 1 },
+            ],
+            vec![POp::Load { addr: F }, POp::PersistBarrier, POp::Store { addr: B, value: 2 }],
+        ]);
+        let OrderVerdict::Sometimes(ordered, total) = check_order(&p, Model::Epoch, A, B) else {
+            panic!("expected a mixed verdict");
+        };
+        // The load is t1's *first* op, so it observes t0's flag store (the
+        // conflict edge that orders the persists) only in the single
+        // interleaving where all of t0 runs first: 1 of C(6,3)=20.
+        assert_eq!(total, 20);
+        assert_eq!(ordered, 1);
+        // Strict persistency needs the same cross-thread conflict edge;
+        // when the load observes 0 even strict cannot order the persists.
+        assert_eq!(check_order(&p, Model::Strict, A, B), OrderVerdict::Sometimes(1, 20));
+    }
+
+    #[test]
+    fn strong_persist_atomicity_holds_in_every_interleaving() {
+        // Two threads persist different values to the same address: under
+        // every model the recovery observer sees at most three states per
+        // byte pattern — nothing torn, no value resurrection.
+        let p = Program::new(vec![
+            vec![POp::Store { addr: A, value: 0x1111 }],
+            vec![POp::Store { addr: A, value: 0x2222 }],
+        ]);
+        for model in Model::ALL {
+            let states = recovery_states(&p, model, 1000);
+            for s in &states {
+                let mut word = [0u8; 8];
+                word[..s.len().min(8)].copy_from_slice(&s[..s.len().min(8)]);
+                let v = u64::from_le_bytes(word);
+                assert!(
+                    v == 0 || v == 0x1111 || v == 0x2222,
+                    "torn or phantom value {v:#x} under {model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flag_protocol_is_safe_in_all_interleavings_under_epoch() {
+        // Writer: payload; barrier; flag. A concurrent reader thread does
+        // unrelated persistent work. In no interleaving and no cut may the
+        // flag be set without the payload.
+        let payload = MemAddr::persistent(0);
+        let flag = MemAddr::persistent(64);
+        let other = MemAddr::persistent(128);
+        let p = Program::new(vec![
+            vec![
+                POp::Store { addr: payload, value: 42 },
+                POp::PersistBarrier,
+                POp::Store { addr: flag, value: 1 },
+            ],
+            vec![POp::Store { addr: other, value: 9 }, POp::PersistBarrier],
+        ]);
+        let states = recovery_states(&p, Model::Epoch, 10_000);
+        assert!(!states.is_empty());
+        for s in &states {
+            let word = |off: usize| {
+                let mut w = [0u8; 8];
+                let end = (off + 8).min(s.len());
+                if off < end {
+                    w[..end - off].copy_from_slice(&s[off..end]);
+                }
+                u64::from_le_bytes(w)
+            };
+            if word(64) == 1 {
+                assert_eq!(word(0), 42, "flag persisted before payload");
+            }
+        }
+    }
+
+    #[test]
+    fn more_relaxed_models_admit_no_fewer_recovery_states() {
+        // Strand's constraint set is a subset of epoch's on this barrier
+        // chain, so its recovery-state set must be a superset.
+        let p = Program::new(vec![vec![
+            POp::Store { addr: A, value: 1 },
+            POp::PersistBarrier,
+            POp::Store { addr: B, value: 2 },
+            POp::NewStrand,
+            POp::Store { addr: MemAddr::persistent(128), value: 3 },
+        ]]);
+        let epoch = recovery_states(&p, Model::Epoch, 10_000);
+        let strand = recovery_states(&p, Model::Strand, 10_000);
+        assert!(epoch.is_subset(&strand), "strand must admit every epoch state");
+        assert!(strand.len() > epoch.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_programs_are_rejected() {
+        let p = Program::new(vec![
+            vec![POp::PersistBarrier; 12],
+            vec![POp::PersistBarrier; 12],
+            vec![POp::PersistBarrier; 12],
+        ]);
+        p.for_each_trace(|_| {});
+    }
+}

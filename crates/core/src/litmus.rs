@@ -1,0 +1,351 @@
+//! Litmus tests for persistency-model semantics.
+//!
+//! Memory consistency models are traditionally characterized by litmus
+//! tests — small named programs whose allowed outcomes distinguish the
+//! models. This module does the same for the paper's persistency models:
+//! each [`Litmus`] is a two-persist scenario from §4–§5 with the
+//! *expected* persist-order relation under every model, and
+//! [`Litmus::check`] evaluates the actual relation from the persist DAG.
+//!
+//! The suite doubles as an executable summary of the models' semantics
+//! and as a regression net for the propagation engine: the expected
+//! matrix is asserted in this module's tests and printed by the `litmus`
+//! binary in the bench crate.
+
+use crate::cycle::IntendedOrder;
+use crate::dag::PersistDag;
+use crate::{AnalysisConfig, Model};
+use core::fmt;
+use mem_trace::{Trace, TraceBuilder};
+use persist_mem::{MemAddr, TrackingGranularity};
+
+/// The persist-order relation between a litmus test's two tagged persists
+/// (to addresses `A` and `B`), or the enforceability of the whole order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// B is transitively ordered after A in persistent memory order: the
+    /// recovery observer can never see B without A.
+    Ordered,
+    /// A and B are concurrent: either may be observed without the other.
+    Concurrent,
+    /// A and B coalesced into one atomic persist (same-address cases).
+    Coalesced,
+    /// The intended persist order is cyclic — unenforceable (Figure 1).
+    Unenforceable,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::Ordered => "ordered",
+            Outcome::Concurrent => "concurrent",
+            Outcome::Coalesced => "coalesced",
+            Outcome::Unenforceable => "CYCLE",
+        })
+    }
+}
+
+/// The two tagged persistent addresses every litmus trace uses.
+const A: MemAddr = MemAddr::persistent(0);
+const B: MemAddr = MemAddr::persistent(64);
+/// A volatile flag used by message-passing shapes.
+const F: MemAddr = MemAddr::volatile(0);
+/// A persistent flag for persistent-space races.
+const X: MemAddr = MemAddr::persistent(128);
+
+/// A named persistency litmus test.
+pub struct Litmus {
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description, with the paper section it encodes.
+    pub description: &'static str,
+    /// The trace (built once; visibility order may be non-SC).
+    pub trace: Trace,
+    /// Whether to evaluate enforceability (Figure 1 style) instead of the
+    /// A→B relation.
+    pub cycle_check: bool,
+    /// The two tagged persist addresses (defaults to the module's A/B).
+    pub tagged: (MemAddr, MemAddr),
+}
+
+impl fmt::Debug for Litmus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Litmus").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl Litmus {
+    /// Evaluates the test under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no persist to `A` or `B` (malformed test).
+    pub fn check(&self, model: Model) -> Outcome {
+        if self.cycle_check {
+            let order = IntendedOrder::build(&self.trace, TrackingGranularity::default());
+            return if order.find_cycle().is_some() {
+                Outcome::Unenforceable
+            } else {
+                Outcome::Ordered
+            };
+        }
+        let dag = PersistDag::build(&self.trace, &AnalysisConfig::new(model))
+            .expect("litmus traces are tiny");
+        let find = |addr: MemAddr| {
+            dag.nodes()
+                .iter()
+                .position(|n| n.writes.iter().any(|w| w.addr == addr))
+                .map(|i| i as u32)
+        };
+        let a = find(self.tagged.0).expect("litmus persists to A");
+        let b = find(self.tagged.1).expect("litmus persists to B");
+        if a == b {
+            Outcome::Coalesced
+        } else if dag.depends_on(b, a) {
+            Outcome::Ordered
+        } else {
+            Outcome::Concurrent
+        }
+    }
+}
+
+/// Builds the full litmus suite.
+pub fn suite() -> Vec<Litmus> {
+    let mut out = Vec::new();
+
+    // 1. Program order, no annotations (§5.1).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).store(0, B, 2);
+    out.push(Litmus {
+        name: "program-order-bare",
+        description: "two persists, no annotation: only strict persistency orders (§5.1)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 2. Persist barrier between them (§5.2).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).persist_barrier(0).store(0, B, 2);
+    out.push(Litmus {
+        name: "persist-barrier",
+        description: "persist barrier between persists: all but strict-rmo order (§5.2)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 3. Memory barrier between them (§4.2).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).mem_barrier(0).store(0, B, 2);
+    out.push(Litmus {
+        name: "mem-barrier",
+        description: "store barrier only: orders persists only where persistency ≡ consistency (§4.2)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 4. Message passing through a volatile flag (§4, epoch rule 2).
+    let mut tb = TraceBuilder::new(2);
+    tb.store(0, A, 1).persist_barrier(0).store(0, F, 1);
+    tb.load(1, F, 1).persist_barrier(1).store(1, B, 2);
+    out.push(Litmus {
+        name: "message-passing-volatile",
+        description: "flag handoff through volatile memory: coherent-conflict models order (§4)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 5. Load-before-store race on the persistent space (§5.2).
+    let mut tb = TraceBuilder::new(2);
+    tb.store(0, A, 1).persist_barrier(0).load(0, X, 0);
+    tb.store(1, X, 7).persist_barrier(1).store(1, B, 2);
+    out.push(Litmus {
+        name: "load-before-store",
+        description: "first access a load, second a store: BPFS's TSO detection misses it (§5.2)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 6. Same-epoch accesses are unordered (§5.2: epochs not serializable).
+    let mut tb = TraceBuilder::new(2);
+    tb.store(0, A, 1).store(0, F, 1); // same epoch: persist then flag
+    tb.load(1, F, 1).persist_barrier(1).store(1, B, 2);
+    out.push(Litmus {
+        name: "persist-epoch-race",
+        description: "flag write in the persist's own epoch: the race inherits nothing (§5.2)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 7. Strand independence (§5.3).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).persist_barrier(0).new_strand(0).store(0, B, 2);
+    out.push(Litmus {
+        name: "strand-independence",
+        description: "NewStrand between persists: strand persistency forgets the barrier (§5.3)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 8. The strand ordering idiom: read the dependency, barrier, persist
+    //    (§5.3).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).new_strand(0).load(0, A, 1).persist_barrier(0).store(0, B, 2);
+    out.push(Litmus {
+        name: "strand-read-idiom",
+        description: "new strand reads A then barriers: strong persist atomicity re-orders B after A (§5.3)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 9. Strong persist atomicity: same-address persists (§4.3). B here is
+    //    a second persist to A's address — expect Coalesced or Ordered,
+    //    never Concurrent. Encoded with both writes to A and B unused… use
+    //    A twice and tag the second store's value; we instead persist A
+    //    then A again and then copy the outcome to B for tagging.
+    let mut tb = TraceBuilder::new(2);
+    tb.store(0, A, 1);
+    tb.store(1, A, 2).persist_barrier(1).store(1, B, 3);
+    out.push(Litmus {
+        name: "strong-persist-atomicity",
+        description: "cross-thread same-address persists serialize; B follows via barrier (§4.3)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 10. Persist sync orders under every model (§4.1).
+    let mut tb = TraceBuilder::new(1);
+    tb.store(0, A, 1).op(0, mem_trace::Op::PersistSync).store(0, B, 2);
+    out.push(Litmus {
+        name: "persist-sync",
+        description: "persist_sync drains the buffer: ordered under every model (§4.1)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, B),
+    });
+
+    // 11. Adjacent sub-word persists in one atomic block coalesce (§3):
+    //     two 4-byte stores into A's 8-byte block become one atomic
+    //     persist under every model.
+    let half = MemAddr::persistent(4);
+    let mut tb = TraceBuilder::new(1);
+    tb.op(0, mem_trace::Op::Store { addr: A, len: 4, value: 1 });
+    tb.op(0, mem_trace::Op::Store { addr: half, len: 4, value: 2 });
+    out.push(Litmus {
+        name: "adjacent-coalesce",
+        description: "two half-word persists in one atomic block merge into one persist (§3)",
+        trace: tb.build(),
+        cycle_check: false,
+        tagged: (A, half),
+    });
+
+    // 12. Figure 1: reordered visibility across a persist barrier.
+    let mut tb = TraceBuilder::new(2);
+    tb.store(0, A, 1).persist_barrier(0).store(0, B, 2);
+    tb.store(1, B, 3).persist_barrier(1).store(1, A, 4);
+    tb.set_visibility(vec![(0, 2), (1, 0), (1, 1), (1, 2), (0, 0), (0, 1)]);
+    out.push(Litmus {
+        name: "figure1-visibility-reorder",
+        description: "store visibility reorders across a persist barrier: unenforceable (§4.3)",
+        trace: tb.build(),
+        cycle_check: true,
+        tagged: (A, B),
+    });
+
+    out
+}
+
+/// The expected outcome matrix, used by the tests below and printed by
+/// the `litmus` binary for comparison.
+pub fn expected(name: &str, model: Model) -> Option<Outcome> {
+    use Model::*;
+    use Outcome::*;
+    Some(match (name, model) {
+        ("program-order-bare", Strict) => Ordered,
+        ("program-order-bare", _) => Concurrent,
+
+        ("persist-barrier", StrictRmo) => Concurrent,
+        ("persist-barrier", _) => Ordered,
+
+        ("mem-barrier", Strict | StrictRmo) => Ordered,
+        ("mem-barrier", _) => Concurrent,
+
+        // The handoff shapes use persist barriers, which strict-rmo
+        // ignores (it needs memory barriers instead): concurrent there.
+        ("message-passing-volatile", Strict | Epoch) => Ordered,
+        ("message-passing-volatile", StrictRmo | Bpfs | Strand) => Concurrent,
+
+        ("load-before-store", Strict | Epoch) => Ordered,
+        ("load-before-store", StrictRmo | Bpfs | Strand) => Concurrent,
+
+        ("persist-epoch-race", Strict) => Ordered,
+        ("persist-epoch-race", _) => Concurrent,
+
+        ("strand-independence", Strict) => Ordered,
+        ("strand-independence", Epoch | Bpfs) => Ordered,
+        ("strand-independence", StrictRmo) => Concurrent,
+        ("strand-independence", Strand) => Concurrent,
+
+        ("strand-read-idiom", StrictRmo) => Concurrent,
+        ("strand-read-idiom", _) => Ordered,
+
+        ("strong-persist-atomicity", StrictRmo) => Concurrent,
+        ("strong-persist-atomicity", _) => Ordered,
+
+        ("persist-sync", _) => Ordered,
+
+        ("adjacent-coalesce", _) => Coalesced,
+
+        ("figure1-visibility-reorder", _) => Unenforceable,
+
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_expected_matrix() {
+        for litmus in suite() {
+            for model in Model::ALL {
+                let want = expected(litmus.name, model)
+                    .unwrap_or_else(|| panic!("no expectation for {}", litmus.name));
+                let got = litmus.check(model);
+                assert_eq!(
+                    got, want,
+                    "litmus {} under {model}: got {got}, expected {want}",
+                    litmus.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_nonempty_and_named_uniquely() {
+        let s = suite();
+        assert!(s.len() >= 11);
+        let names: std::collections::HashSet<_> = s.iter().map(|l| l.name).collect();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn non_cycle_traces_are_sc() {
+        for litmus in suite() {
+            if !litmus.cycle_check {
+                litmus.trace.validate_sc().unwrap_or_else(|e| {
+                    panic!("litmus {} is not a legal SC trace: {e}", litmus.name)
+                });
+            }
+        }
+    }
+}

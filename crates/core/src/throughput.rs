@@ -1,0 +1,161 @@
+//! The §8 rate model: combining critical path, persist latency and
+//! instruction execution rate.
+//!
+//! The paper assumes "only one of the instruction execution rate and
+//! persist rate is the bottleneck": a configuration runs either at the
+//! natively measured instruction rate or at the rate the persist critical
+//! path drains, whichever is lower.
+
+use crate::timing::TimingReport;
+
+/// Persist latency in nanoseconds. The paper sweeps 10 ns – 100 µs and uses
+/// 500 ns for Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PersistLatency {
+    ns: f64,
+}
+
+impl PersistLatency {
+    /// Table 1's assumed NVRAM persist latency (500 ns).
+    pub const TABLE1: PersistLatency = PersistLatency { ns: 500.0 };
+
+    /// Creates a latency from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is not finite and positive.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns > 0.0, "persist latency must be positive");
+        PersistLatency { ns }
+    }
+
+    /// The latency in nanoseconds.
+    pub fn ns(self) -> f64 {
+        self.ns
+    }
+
+    /// Logarithmic sweep from `lo` to `hi` with `points` samples,
+    /// inclusive — the x-axis of Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `lo >= hi`.
+    pub fn log_sweep(lo: PersistLatency, hi: PersistLatency, points: usize) -> Vec<PersistLatency> {
+        assert!(points >= 2 && lo.ns < hi.ns);
+        let (l0, l1) = (lo.ns.ln(), hi.ns.ln());
+        (0..points)
+            .map(|i| {
+                let f = i as f64 / (points - 1) as f64;
+                PersistLatency { ns: (l0 + f * (l1 - l0)).exp() }
+            })
+            .collect()
+    }
+}
+
+/// Work items per second, as a plain positive number.
+pub type Rate = f64;
+
+/// The rate at which the persist critical path drains: one critical-path
+/// step per persist latency, scaled to work items.
+///
+/// Returns `f64::INFINITY` if the workload has no persist constraints.
+pub fn persist_bound_rate(cp_per_work: f64, latency: PersistLatency) -> Rate {
+    if cp_per_work <= 0.0 {
+        f64::INFINITY
+    } else {
+        1e9 / (cp_per_work * latency.ns())
+    }
+}
+
+/// The achievable rate: the lower of the instruction execution rate and
+/// the persist-bound rate (§8, Table 1 and Figure 3).
+pub fn achievable_rate(instr_rate: Rate, cp_per_work: f64, latency: PersistLatency) -> Rate {
+    instr_rate.min(persist_bound_rate(cp_per_work, latency))
+}
+
+/// Table 1's metric: the persist-bound rate normalized to the instruction
+/// execution rate. Values ≥ 1 mean persists never bottleneck the workload.
+pub fn normalized_rate(instr_rate: Rate, cp_per_work: f64, latency: PersistLatency) -> f64 {
+    persist_bound_rate(cp_per_work, latency) / instr_rate
+}
+
+/// The persist latency at which a configuration becomes persist-bound
+/// (instruction rate == persist-bound rate) — the break-even points quoted
+/// in §8 for Figure 3 (17 ns strict, 119 ns epoch, ~6 µs strand).
+pub fn break_even_latency(instr_rate: Rate, cp_per_work: f64) -> Option<PersistLatency> {
+    if cp_per_work <= 0.0 || instr_rate <= 0.0 {
+        return None;
+    }
+    Some(PersistLatency::from_ns(1e9 / (instr_rate * cp_per_work)))
+}
+
+/// Convenience: achievable rate straight from a timing report.
+pub fn achievable_from_report(
+    report: &TimingReport,
+    instr_rate: Rate,
+    latency: PersistLatency,
+) -> Rate {
+    achievable_rate(instr_rate, report.critical_path_per_work(), latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_bound_rate_math() {
+        // CP 2 per insert at 500 ns → 1e9/(2*500) = 1M inserts/s.
+        let r = persist_bound_rate(2.0, PersistLatency::TABLE1);
+        assert!((r - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn achievable_is_min() {
+        let lat = PersistLatency::TABLE1;
+        // Persist-bound case.
+        assert_eq!(achievable_rate(4e6, 15.0, lat), persist_bound_rate(15.0, lat));
+        // Compute-bound case.
+        assert_eq!(achievable_rate(4e6, 0.01, lat), 4e6);
+    }
+
+    #[test]
+    fn normalized_below_one_means_persist_bound() {
+        let lat = PersistLatency::TABLE1;
+        assert!(normalized_rate(4e6, 15.0, lat) < 1.0);
+        assert!(normalized_rate(4e6, 0.01, lat) > 1.0);
+    }
+
+    #[test]
+    fn break_even_matches_paper_arithmetic() {
+        // Paper: CWL strict becomes persist-bound at ~17 ns. With CP 15 per
+        // insert that implies an instruction rate near 3.9 M inserts/s.
+        let be = break_even_latency(3.9e6, 15.0).unwrap();
+        assert!((be.ns() - 17.0).abs() < 1.0, "got {}", be.ns());
+        assert!(break_even_latency(0.0, 15.0).is_none());
+        assert!(break_even_latency(1e6, 0.0).is_none());
+    }
+
+    #[test]
+    fn log_sweep_covers_range() {
+        let pts = PersistLatency::log_sweep(
+            PersistLatency::from_ns(10.0),
+            PersistLatency::from_ns(100_000.0),
+            13,
+        );
+        assert_eq!(pts.len(), 13);
+        assert!((pts[0].ns() - 10.0).abs() < 1e-9);
+        assert!((pts[12].ns() - 100_000.0).abs() < 1e-6);
+        assert!(pts.windows(2).all(|w| w[0].ns() < w[1].ns()));
+    }
+
+    #[test]
+    fn zero_critical_path_is_never_bound() {
+        assert_eq!(persist_bound_rate(0.0, PersistLatency::TABLE1), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_latency_rejected() {
+        let _ = PersistLatency::from_ns(-1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Tagged addresses for the volatile and persistent address spaces.
+
+use core::fmt;
+
+/// Which address space an address belongs to.
+///
+/// The paper (§2.1) assumes "memory provides both volatile and persistent
+/// address spaces"; persistency models constrain only writes to the
+/// persistent space, but accesses to *either* space may order persists
+/// (§4: "loads and stores to the volatile address space may still order
+/// stores to the persistent address space in persistent memory order").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Space {
+    /// DRAM-like volatile memory; contents are lost at failure.
+    Volatile,
+    /// NVRAM-backed persistent memory; contents survive failure.
+    Persistent,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Volatile => f.write_str("volatile"),
+            Space::Persistent => f.write_str("persistent"),
+        }
+    }
+}
+
+/// An address in one of the two simulated address spaces.
+///
+/// Internally packed into a single `u64`: the top bit selects the space and
+/// the low 63 bits are the byte offset within that space. Offsets are
+/// therefore limited to `2^63 - 1`, far beyond anything a simulation
+/// allocates.
+///
+/// # Example
+///
+/// ```rust
+/// use persist_mem::{MemAddr, Space};
+///
+/// let a = MemAddr::persistent(0x40);
+/// assert_eq!(a.space(), Space::Persistent);
+/// assert_eq!(a.offset(), 0x40);
+/// assert_eq!(a.add(8).offset(), 0x48);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemAddr(u64);
+
+const SPACE_BIT: u64 = 1 << 63;
+
+impl MemAddr {
+    /// Creates an address in the volatile space.
+    #[inline]
+    pub const fn volatile(offset: u64) -> Self {
+        debug_assert!(offset & SPACE_BIT == 0);
+        MemAddr(offset)
+    }
+
+    /// Creates an address in the persistent space.
+    #[inline]
+    pub const fn persistent(offset: u64) -> Self {
+        debug_assert!(offset & SPACE_BIT == 0);
+        MemAddr(offset | SPACE_BIT)
+    }
+
+    /// Creates an address in the given space.
+    #[inline]
+    pub const fn new(space: Space, offset: u64) -> Self {
+        match space {
+            Space::Volatile => Self::volatile(offset),
+            Space::Persistent => Self::persistent(offset),
+        }
+    }
+
+    /// The address space this address belongs to.
+    #[inline]
+    pub const fn space(self) -> Space {
+        if self.0 & SPACE_BIT != 0 {
+            Space::Persistent
+        } else {
+            Space::Volatile
+        }
+    }
+
+    /// `true` if this address lies in the persistent space.
+    #[inline]
+    pub const fn is_persistent(self) -> bool {
+        self.0 & SPACE_BIT != 0
+    }
+
+    /// Byte offset within the address space.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0 & !SPACE_BIT
+    }
+
+    /// Returns the address `bytes` past this one, in the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the offset overflows the 63-bit range.
+    #[inline]
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> Self {
+        let off = self.offset() + bytes;
+        debug_assert!(off & SPACE_BIT == 0);
+        MemAddr::new(self.space(), off)
+    }
+
+    /// The raw packed representation (space bit | offset). Useful as a
+    /// compact hash-map key.
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an address from [`MemAddr::to_bits`].
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        MemAddr(bits)
+    }
+
+    /// `true` if this address is aligned to `align` bytes (`align` must be a
+    /// power of two).
+    #[inline]
+    pub const fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.offset() & (align - 1) == 0
+    }
+
+    /// Rounds the offset down to an `align`-byte boundary (power of two).
+    #[inline]
+    #[must_use]
+    pub const fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two());
+        MemAddr::new(self.space(), self.offset() & !(align - 1))
+    }
+}
+
+impl fmt::Debug for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.space() {
+            Space::Volatile => write!(f, "V:{:#x}", self.offset()),
+            Space::Persistent => write!(f, "P:{:#x}", self.offset()),
+        }
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_are_disjoint() {
+        let v = MemAddr::volatile(0x100);
+        let p = MemAddr::persistent(0x100);
+        assert_ne!(v, p);
+        assert_eq!(v.offset(), p.offset());
+        assert_eq!(v.space(), Space::Volatile);
+        assert_eq!(p.space(), Space::Persistent);
+        assert!(p.is_persistent());
+        assert!(!v.is_persistent());
+    }
+
+    #[test]
+    fn add_preserves_space() {
+        let p = MemAddr::persistent(8).add(56);
+        assert_eq!(p, MemAddr::persistent(64));
+        let v = MemAddr::volatile(8).add(56);
+        assert_eq!(v, MemAddr::volatile(64));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for a in [
+            MemAddr::volatile(0),
+            MemAddr::persistent(0),
+            MemAddr::volatile(u64::MAX >> 1),
+            MemAddr::persistent(12345),
+        ] {
+            assert_eq!(MemAddr::from_bits(a.to_bits()), a);
+        }
+    }
+
+    #[test]
+    fn alignment() {
+        let a = MemAddr::persistent(0x47);
+        assert!(!a.is_aligned(8));
+        assert_eq!(a.align_down(8), MemAddr::persistent(0x40));
+        assert_eq!(a.align_down(64), MemAddr::persistent(0x40));
+        assert!(MemAddr::volatile(0).is_aligned(4096));
+    }
+
+    #[test]
+    fn ordering_groups_by_space() {
+        // Volatile addresses sort before persistent ones (space bit is MSB).
+        assert!(MemAddr::volatile(u64::MAX >> 1) < MemAddr::persistent(0));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", MemAddr::persistent(0x40)), "P:0x40");
+        assert_eq!(format!("{}", MemAddr::volatile(0x7)), "V:0x7");
+    }
+}

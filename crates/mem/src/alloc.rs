@@ -1,0 +1,258 @@
+//! Persistent-space allocator (`pmalloc` / `pfree`).
+//!
+//! The paper's tracing methodology (§7) instruments workloads "with persist
+//! barriers and persistent malloc/free to distinguish volatile and
+//! persistent address spaces". This allocator plays that role: workloads
+//! place recoverable data through it, and the allocation events are recorded
+//! in the trace so analyses know which blocks are persistent.
+
+use crate::{MemAddr, MemError};
+use std::collections::BTreeMap;
+
+/// A simple first-fit allocator over the persistent address space.
+///
+/// Allocations never overlap; freed regions are merged with adjacent free
+/// regions and can be reused. Offset 0 is never handed out so that a null
+/// persistent pointer can be represented as offset 0.
+///
+/// # Example
+///
+/// ```rust
+/// use persist_mem::PersistentAllocator;
+///
+/// # fn main() -> Result<(), persist_mem::MemError> {
+/// let mut a = PersistentAllocator::new();
+/// let x = a.alloc(100, 64)?;
+/// assert!(x.is_aligned(64));
+/// let y = a.alloc(8, 8)?;
+/// assert_ne!(x, y);
+/// a.free(x)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistentAllocator {
+    /// Free regions keyed by start offset → length.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations keyed by start offset → length.
+    live: BTreeMap<u64, u64>,
+    /// High-water mark: everything at or above is untouched.
+    brk: u64,
+    /// Total bytes ever allocated (statistics).
+    total_allocated: u64,
+}
+
+impl Default for PersistentAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PersistentAllocator {
+    /// Creates an empty allocator. The first allocation starts at offset
+    /// `64` (keeping offset 0 reserved as a null sentinel and the first
+    /// block cache-line aligned).
+    pub fn new() -> Self {
+        PersistentAllocator {
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+            brk: 64,
+            total_allocated: 0,
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align` in the persistent space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAlloc`] if `size == 0` or `align` is not a
+    /// power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<MemAddr, MemError> {
+        if size == 0 || !align.is_power_of_two() {
+            return Err(MemError::BadAlloc { size, align });
+        }
+        // First fit over the free list.
+        let mut found: Option<(u64, u64, u64)> = None; // (start, len, aligned_start)
+        for (&start, &len) in &self.free {
+            let aligned = start.next_multiple_of(align);
+            if aligned + size <= start + len {
+                found = Some((start, len, aligned));
+                break;
+            }
+        }
+        if let Some((start, len, aligned)) = found {
+            self.free.remove(&start);
+            // Leading fragment.
+            if aligned > start {
+                self.free.insert(start, aligned - start);
+            }
+            // Trailing fragment.
+            let end = start + len;
+            let alloc_end = aligned + size;
+            if end > alloc_end {
+                self.free.insert(alloc_end, end - alloc_end);
+            }
+            self.live.insert(aligned, size);
+            self.total_allocated += size;
+            return Ok(MemAddr::persistent(aligned));
+        }
+        // Bump allocation.
+        let aligned = self.brk.next_multiple_of(align);
+        if aligned > self.brk {
+            // The skipped gap becomes free space (merged with any free
+            // region ending exactly at the old break).
+            self.insert_free(self.brk, aligned - self.brk);
+        }
+        self.brk = aligned + size;
+        self.live.insert(aligned, size);
+        self.total_allocated += size;
+        Ok(MemAddr::persistent(aligned))
+    }
+
+    /// Inserts a free region, coalescing with adjacent free regions.
+    fn insert_free(&mut self, start: u64, len: u64) {
+        let mut new_start = start;
+        let mut new_len = len;
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                new_start = pstart;
+                new_len += plen;
+            }
+        }
+        if let Some(&flen) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            new_len += flen;
+        }
+        self.free.insert(new_start, new_len);
+    }
+
+    /// Frees a previous allocation, coalescing with adjacent free regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFree`] if `addr` is not the start of a live
+    /// allocation in the persistent space.
+    pub fn free(&mut self, addr: MemAddr) -> Result<(), MemError> {
+        if !addr.is_persistent() {
+            return Err(MemError::BadFree { addr });
+        }
+        let start = addr.offset();
+        let len = self.live.remove(&start).ok_or(MemError::BadFree { addr })?;
+        self.insert_free(start, len);
+        Ok(())
+    }
+
+    /// Size in bytes of the live allocation starting at `addr`, if any.
+    pub fn allocation_size(&self, addr: MemAddr) -> Option<u64> {
+        if !addr.is_persistent() {
+            return None;
+        }
+        self.live.get(&addr.offset()).copied()
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total bytes handed out over the allocator's lifetime.
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// High-water mark of the persistent space (exclusive upper bound of any
+    /// address ever returned).
+    pub fn high_water(&self) -> u64 {
+        self.brk
+    }
+
+    /// Iterates over live allocations as `(addr, size)` pairs, in address
+    /// order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (MemAddr, u64)> + '_ {
+        self.live.iter().map(|(&o, &s)| (MemAddr::persistent(o), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = PersistentAllocator::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for i in 1..=64u64 {
+            let size = (i % 13) + 1;
+            let align = 1u64 << (i % 7);
+            let p = a.alloc(size, align).unwrap();
+            assert!(p.is_aligned(align));
+            spans.push((p.offset(), size));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn never_returns_offset_zero() {
+        let mut a = PersistentAllocator::new();
+        let p = a.alloc(1, 1).unwrap();
+        assert_ne!(p.offset(), 0);
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_space() {
+        let mut a = PersistentAllocator::new();
+        let p = a.alloc(128, 8).unwrap();
+        let hw = a.high_water();
+        a.free(p).unwrap();
+        let q = a.alloc(64, 8).unwrap();
+        assert!(q.offset() < hw, "should reuse freed space");
+    }
+
+    #[test]
+    fn free_coalesces_neighbors() {
+        let mut a = PersistentAllocator::new();
+        let p1 = a.alloc(32, 8).unwrap();
+        let p2 = a.alloc(32, 8).unwrap();
+        let p3 = a.alloc(32, 8).unwrap();
+        a.free(p1).unwrap();
+        a.free(p3).unwrap();
+        a.free(p2).unwrap();
+        // All three merged into one region: a 96-byte request fits there.
+        let q = a.alloc(96, 8).unwrap();
+        assert_eq!(q, p1);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = PersistentAllocator::new();
+        let p = a.alloc(8, 8).unwrap();
+        a.free(p).unwrap();
+        assert!(matches!(a.free(p), Err(MemError::BadFree { .. })));
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let mut a = PersistentAllocator::new();
+        assert!(a.alloc(0, 8).is_err());
+        assert!(a.alloc(8, 3).is_err());
+        assert!(a.free(MemAddr::volatile(64)).is_err());
+        assert!(a.free(MemAddr::persistent(12345)).is_err());
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut a = PersistentAllocator::new();
+        let p = a.alloc(100, 64).unwrap();
+        assert_eq!(a.allocation_size(p), Some(100));
+        assert_eq!(a.live_count(), 1);
+        assert_eq!(a.total_allocated(), 100);
+        assert_eq!(a.iter_live().count(), 1);
+        a.free(p).unwrap();
+        assert_eq!(a.live_count(), 0);
+        assert_eq!(a.allocation_size(p), None);
+    }
+}

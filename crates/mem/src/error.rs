@@ -1,0 +1,92 @@
+//! Error type for the memory substrate.
+
+use crate::MemAddr;
+use core::fmt;
+
+/// Errors produced by the memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// An access would cross the end of the backing image and the image is
+    /// not allowed to grow (e.g. reading uninitialized memory strictly).
+    OutOfBounds {
+        /// First byte of the failing access.
+        addr: MemAddr,
+        /// Length of the failing access in bytes.
+        len: u64,
+    },
+    /// An allocation request was invalid (zero size or non-power-of-two
+    /// alignment).
+    BadAlloc {
+        /// Requested size in bytes.
+        size: u64,
+        /// Requested alignment in bytes.
+        align: u64,
+    },
+    /// `pfree` was called on an address that is not the start of a live
+    /// allocation.
+    BadFree {
+        /// The address passed to `pfree`.
+        addr: MemAddr,
+    },
+    /// A granularity parameter was not a power of two in `1..=4096`.
+    BadGranularity {
+        /// The rejected byte count.
+        bytes: u64,
+    },
+    /// An access length was invalid (zero, or larger than the supported
+    /// maximum single-access size).
+    BadAccessLen {
+        /// The rejected length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr} is out of bounds")
+            }
+            MemError::BadAlloc { size, align } => {
+                write!(f, "invalid allocation request: size {size}, align {align}")
+            }
+            MemError::BadFree { addr } => {
+                write!(f, "free of {addr} which is not a live allocation")
+            }
+            MemError::BadGranularity { bytes } => {
+                write!(f, "granularity of {bytes} bytes is not a power of two in 1..=4096")
+            }
+            MemError::BadAccessLen { len } => write!(f, "invalid access length {len}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<MemError> = vec![
+            MemError::OutOfBounds { addr: MemAddr::volatile(4), len: 8 },
+            MemError::BadAlloc { size: 0, align: 3 },
+            MemError::BadFree { addr: MemAddr::persistent(16) },
+            MemError::BadGranularity { bytes: 24 },
+            MemError::BadAccessLen { len: 0 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

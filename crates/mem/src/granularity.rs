@@ -1,0 +1,254 @@
+//! Granularity knobs and aligned-block math.
+//!
+//! The evaluation in the paper sweeps two distinct granularities:
+//!
+//! - **Atomic persist granularity** (Figure 4): the size of the memory block
+//!   an NVRAM device can persist atomically with respect to failure. Persists
+//!   within one atomic block may *coalesce* into a single persist operation.
+//! - **Dependence tracking granularity** (Figure 5): the coarseness at which
+//!   conflicting accesses are detected. Coarse tracking introduces
+//!   *persistent false sharing* — spurious persist-order constraints between
+//!   persists to disjoint but nearby addresses.
+
+use crate::{MemAddr, MemError, Space};
+use core::fmt;
+
+/// Validates that `bytes` is a power of two in `1..=4096`.
+fn validate(bytes: u64) -> Result<(), MemError> {
+    if bytes.is_power_of_two() && (1..=4096).contains(&bytes) {
+        Ok(())
+    } else {
+        Err(MemError::BadGranularity { bytes })
+    }
+}
+
+macro_rules! granularity_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates a granularity of `bytes` bytes.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::BadGranularity`] unless `bytes` is a power
+            /// of two in `1..=4096`.
+            pub fn new(bytes: u64) -> Result<Self, MemError> {
+                validate(bytes)?;
+                Ok(Self(bytes))
+            }
+
+            /// The granularity in bytes.
+            #[inline]
+            pub const fn bytes(self) -> u64 {
+                self.0
+            }
+
+            /// The aligned block containing `addr` at this granularity.
+            #[inline]
+            pub fn block_of(self, addr: MemAddr) -> BlockId {
+                BlockId { space: addr.space(), index: addr.offset() / self.0 }
+            }
+
+            /// All blocks overlapped by the access `[addr, addr + len)`.
+            #[inline]
+            pub fn blocks_of(self, addr: MemAddr, len: u64) -> BlockRange {
+                assert!(len > 0, "zero-length access has no blocks");
+                let first = addr.offset() / self.0;
+                let last = (addr.offset() + len - 1) / self.0;
+                BlockRange { space: addr.space(), next: first, last, gran: self.0 }
+            }
+
+            /// `true` if the access `[addr, addr + len)` fits entirely inside
+            /// one aligned block of this granularity.
+            #[inline]
+            pub fn contains_access(self, addr: MemAddr, len: u64) -> bool {
+                len > 0
+                    && len <= self.0
+                    && addr.offset() / self.0 == (addr.offset() + len - 1) / self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}B", self.0)
+            }
+        }
+
+        impl Default for $name {
+            /// Eight bytes: the paper's baseline for both granularities (§7).
+            fn default() -> Self {
+                Self(8)
+            }
+        }
+
+        impl TryFrom<u64> for $name {
+            type Error = MemError;
+            fn try_from(bytes: u64) -> Result<Self, MemError> {
+                Self::new(bytes)
+            }
+        }
+    };
+}
+
+granularity_newtype! {
+    /// Size of the memory block an NVRAM device persists atomically with
+    /// respect to failure (§3 "persist granularity"). Larger blocks enable
+    /// more persist coalescing (Figure 4).
+    AtomicPersistSize
+}
+
+granularity_newtype! {
+    /// Coarseness at which persist-order conflicts are detected (§7).
+    /// Coarser tracking causes persistent false sharing (Figure 5).
+    TrackingGranularity
+}
+
+/// An aligned block of one address space at some granularity.
+///
+/// `BlockId`s are only meaningful relative to the granularity that produced
+/// them; the engines in the `persistency` crate use a single granularity per
+/// analysis so indices never mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId {
+    /// Address space the block belongs to.
+    pub space: Space,
+    /// Block index: `offset / granularity`.
+    pub index: u64,
+}
+
+impl BlockId {
+    /// Packs the block id into a `u64` key (space in the top bit).
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        let tag = match self.space {
+            Space::Volatile => 0,
+            Space::Persistent => 1u64 << 63,
+        };
+        tag | self.index
+    }
+
+    /// The first byte address of this block at granularity `gran` bytes.
+    #[inline]
+    pub fn base_addr(self, gran: u64) -> MemAddr {
+        MemAddr::new(self.space, self.index * gran)
+    }
+}
+
+/// Iterator over the blocks overlapped by an access.
+///
+/// Produced by [`AtomicPersistSize::blocks_of`] and
+/// [`TrackingGranularity::blocks_of`].
+#[derive(Debug, Clone)]
+pub struct BlockRange {
+    space: Space,
+    next: u64,
+    last: u64,
+    gran: u64,
+}
+
+impl BlockRange {
+    /// Granularity (bytes) the range was produced at.
+    #[inline]
+    pub fn granularity(&self) -> u64 {
+        self.gran
+    }
+}
+
+impl Iterator for BlockRange {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        if self.next > self.last {
+            None
+        } else {
+            let b = BlockId { space: self.space, index: self.next };
+            self.next += 1;
+            Some(b)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last + 1).saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BlockRange {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(AtomicPersistSize::new(0).is_err());
+        assert!(AtomicPersistSize::new(24).is_err());
+        assert!(AtomicPersistSize::new(8192).is_err());
+        assert!(TrackingGranularity::new(7).is_err());
+    }
+
+    #[test]
+    fn accepts_paper_sweep_values() {
+        for b in [8u64, 16, 32, 64, 128, 256] {
+            assert_eq!(AtomicPersistSize::new(b).unwrap().bytes(), b);
+            assert_eq!(TrackingGranularity::new(b).unwrap().bytes(), b);
+        }
+    }
+
+    #[test]
+    fn block_of_divides() {
+        let g = TrackingGranularity::new(64).unwrap();
+        let b = g.block_of(MemAddr::persistent(130));
+        assert_eq!(b, BlockId { space: Space::Persistent, index: 2 });
+        assert_eq!(b.base_addr(64), MemAddr::persistent(128));
+    }
+
+    #[test]
+    fn blocks_of_spans_boundaries() {
+        let g = TrackingGranularity::new(8).unwrap();
+        // 12-byte access starting at offset 4 covers blocks 0 and 1.
+        let blocks: Vec<_> = g.blocks_of(MemAddr::volatile(4), 12).collect();
+        assert_eq!(
+            blocks,
+            vec![
+                BlockId { space: Space::Volatile, index: 0 },
+                BlockId { space: Space::Volatile, index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn blocks_of_exact_size_hint() {
+        let g = TrackingGranularity::new(8).unwrap();
+        let r = g.blocks_of(MemAddr::volatile(0), 64);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn contains_access_boundary_cases() {
+        let g = AtomicPersistSize::new(8).unwrap();
+        assert!(g.contains_access(MemAddr::persistent(0), 8));
+        assert!(g.contains_access(MemAddr::persistent(6), 2));
+        assert!(!g.contains_access(MemAddr::persistent(6), 4)); // crosses
+        assert!(!g.contains_access(MemAddr::persistent(0), 9)); // too long
+        let big = AtomicPersistSize::new(256).unwrap();
+        assert!(big.contains_access(MemAddr::persistent(0), 108));
+    }
+
+    #[test]
+    fn block_bits_distinguish_spaces() {
+        let v = BlockId { space: Space::Volatile, index: 3 };
+        let p = BlockId { space: Space::Persistent, index: 3 };
+        assert_ne!(v.to_bits(), p.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn blocks_of_zero_len_panics() {
+        let g = TrackingGranularity::default();
+        let _ = g.blocks_of(MemAddr::volatile(0), 0);
+    }
+}

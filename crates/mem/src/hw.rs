@@ -1,0 +1,113 @@
+//! Hardware persist primitives for *native* (non-simulated) code paths.
+//!
+//! The native queue implementations used to measure instruction execution
+//! rate (the Table 1 normalization baseline) call these at the points where
+//! a real persistent-memory system would flush cache lines and fence. On
+//! x86_64 they compile to the actual `clflush` / `sfence` instructions; on
+//! other targets they are ordering fences only, preserving control-flow
+//! shape so the measured instruction rate stays comparable.
+//!
+//! There is no NVDIMM in the evaluation environment, so these do not make
+//! data durable — they exercise the code path and its cost, which is what
+//! the instruction-rate measurement needs (see DESIGN.md substitutions).
+
+#[cfg(not(target_arch = "x86_64"))]
+use std::sync::atomic::{fence, Ordering};
+
+/// Flushes the cache line containing `p` toward memory.
+///
+/// On x86_64 this issues `clflush`; elsewhere it is a compiler fence so the
+/// surrounding code is not reordered away.
+///
+/// # Safety
+///
+/// `p` must point into a mapped allocation (`clflush` of an unmapped
+/// address faults). The pointee is never read or written.
+///
+/// # Example
+///
+/// ```rust
+/// let x = 42u64;
+/// unsafe { persist_mem::hw::flush_cache_line(&x as *const u64 as *const u8) };
+/// persist_mem::hw::persist_fence();
+/// ```
+#[inline]
+pub unsafe fn flush_cache_line(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_clflush(p);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+        fence(Ordering::SeqCst);
+    }
+}
+
+/// Orders preceding flushes before subsequent stores (persist barrier at
+/// the hardware level).
+///
+/// On x86_64 this issues `sfence`; elsewhere a sequentially consistent
+/// fence.
+#[inline]
+pub fn persist_fence() {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_sfence();
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    fence(Ordering::SeqCst);
+}
+
+/// Flushes every cache line overlapping `len` bytes at `p`, without a
+/// trailing fence (callers decide where the persist barrier goes).
+///
+/// # Safety
+///
+/// `p..p+len` must lie within a mapped allocation; the function only
+/// *flushes*, never reads or writes through the pointer, so any live
+/// allocation is fine.
+#[inline]
+pub unsafe fn flush_range(p: *const u8, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let line = crate::CACHE_LINE_BYTES as usize;
+    let start = p as usize & !(line - 1);
+    let end = p as usize + len;
+    let mut cur = start;
+    while cur < end {
+        // SAFETY: every flushed line overlaps the caller-guaranteed range.
+        unsafe { flush_cache_line(cur as *const u8) };
+        cur += line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_and_fence_do_not_crash() {
+        let buf = vec![0u8; 256];
+        unsafe { flush_range(buf.as_ptr(), buf.len()) };
+        persist_fence();
+    }
+
+    #[test]
+    fn flush_range_handles_unaligned_and_empty() {
+        let buf = vec![0u8; 300];
+        unsafe {
+            flush_range(buf.as_ptr().add(3), 200);
+            flush_range(buf.as_ptr(), 0);
+        }
+        persist_fence();
+    }
+
+    #[test]
+    fn flush_single_byte() {
+        let x = 7u8;
+        unsafe { flush_cache_line(&x as *const u8) };
+        persist_fence();
+    }
+}

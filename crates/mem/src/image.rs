@@ -1,0 +1,194 @@
+//! Flat byte images of the two address spaces.
+
+use crate::{MemAddr, MemError, Space};
+
+/// Maximum size either image may grow to (1 GiB). A guard against runaway
+/// addresses in buggy workloads; real traces use a few MiB.
+const MAX_IMAGE_BYTES: u64 = 1 << 30;
+
+/// Byte images of the volatile and persistent address spaces.
+///
+/// Images grow on demand (zero-filled) up to an internal safety cap. The
+/// executor uses a `MemoryImage` as the value store backing a traced
+/// execution; the recovery observer materializes *recovered* persistent
+/// state into a fresh image.
+///
+/// # Example
+///
+/// ```rust
+/// use persist_mem::{MemAddr, MemoryImage};
+///
+/// # fn main() -> Result<(), persist_mem::MemError> {
+/// let mut m = MemoryImage::new();
+/// m.write(MemAddr::persistent(16), &[1, 2, 3, 4])?;
+/// let mut buf = [0u8; 4];
+/// m.read(MemAddr::persistent(16), &mut buf)?;
+/// assert_eq!(buf, [1, 2, 3, 4]);
+/// // Unwritten memory reads as zero.
+/// assert_eq!(m.read_u64(MemAddr::volatile(0))?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryImage {
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+}
+
+impl MemoryImage {
+    /// Creates an empty image; both spaces read as zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn space_mut(&mut self, space: Space) -> &mut Vec<u8> {
+        match space {
+            Space::Volatile => &mut self.volatile,
+            Space::Persistent => &mut self.persistent,
+        }
+    }
+
+    fn space_ref(&self, space: Space) -> &Vec<u8> {
+        match space {
+            Space::Volatile => &self.volatile,
+            Space::Persistent => &self.persistent,
+        }
+    }
+
+    fn ensure(&mut self, addr: MemAddr, len: u64) -> Result<(), MemError> {
+        let end = addr
+            .offset()
+            .checked_add(len)
+            .ok_or(MemError::OutOfBounds { addr, len })?;
+        if end > MAX_IMAGE_BYTES {
+            return Err(MemError::OutOfBounds { addr, len });
+        }
+        let v = self.space_mut(addr.space());
+        if (v.len() as u64) < end {
+            v.resize(end as usize, 0);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `addr`, growing the image if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the write would exceed the
+    /// internal 1 GiB safety cap.
+    pub fn write(&mut self, addr: MemAddr, data: &[u8]) -> Result<(), MemError> {
+        self.ensure(addr, data.len() as u64)?;
+        let off = addr.offset() as usize;
+        self.space_mut(addr.space())[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `addr`. Bytes beyond the image's current
+    /// extent read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the address range overflows the
+    /// 63-bit offset space.
+    pub fn read(&self, addr: MemAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let len = buf.len() as u64;
+        addr.offset()
+            .checked_add(len)
+            .ok_or(MemError::OutOfBounds { addr, len })?;
+        let v = self.space_ref(addr.space());
+        let off = addr.offset() as usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = v.get(off + i).copied().unwrap_or(0);
+        }
+        Ok(())
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemoryImage::write`].
+    pub fn write_u64(&mut self, addr: MemAddr, value: u64) -> Result<(), MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MemoryImage::read`].
+    pub fn read_u64(&self, addr: MemAddr) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Current extent (bytes) of the given space's image.
+    pub fn extent(&self, space: Space) -> u64 {
+        self.space_ref(space).len() as u64
+    }
+
+    /// Clears the volatile space, modeling a failure: DRAM contents are
+    /// lost while the persistent image survives.
+    pub fn drop_volatile(&mut self) {
+        self.volatile.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = MemoryImage::new();
+        let mut buf = [0xAAu8; 16];
+        m.read(MemAddr::persistent(1000), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn spaces_are_independent() {
+        let mut m = MemoryImage::new();
+        m.write_u64(MemAddr::volatile(0), 7).unwrap();
+        m.write_u64(MemAddr::persistent(0), 9).unwrap();
+        assert_eq!(m.read_u64(MemAddr::volatile(0)).unwrap(), 7);
+        assert_eq!(m.read_u64(MemAddr::persistent(0)).unwrap(), 9);
+    }
+
+    #[test]
+    fn partial_out_of_extent_read() {
+        let mut m = MemoryImage::new();
+        m.write(MemAddr::volatile(0), &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0xFFu8; 8];
+        m.read(MemAddr::volatile(2), &mut buf).unwrap();
+        assert_eq!(buf, [3, 4, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rejects_huge_write() {
+        let mut m = MemoryImage::new();
+        let err = m.write(MemAddr::volatile(u64::MAX >> 1), &[0]).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn failure_drops_volatile_only() {
+        let mut m = MemoryImage::new();
+        m.write_u64(MemAddr::volatile(8), 1).unwrap();
+        m.write_u64(MemAddr::persistent(8), 2).unwrap();
+        m.drop_volatile();
+        assert_eq!(m.read_u64(MemAddr::volatile(8)).unwrap(), 0);
+        assert_eq!(m.read_u64(MemAddr::persistent(8)).unwrap(), 2);
+    }
+
+    #[test]
+    fn u64_roundtrip_is_little_endian() {
+        let mut m = MemoryImage::new();
+        m.write_u64(MemAddr::persistent(0), 0x0102_0304_0506_0708).unwrap();
+        let mut b = [0u8; 8];
+        m.read(MemAddr::persistent(0), &mut b).unwrap();
+        assert_eq!(b[0], 0x08);
+        assert_eq!(b[7], 0x01);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the memory substrate.
+
+use persist_mem::{
+    AtomicPersistSize, MemAddr, MemoryImage, PersistentAllocator, Space, TrackingGranularity,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The image behaves as a sparse byte map: any sequence of writes
+    /// reads back byte-for-byte like a HashMap model, and untouched bytes
+    /// read zero.
+    #[test]
+    fn image_matches_byte_map_model(
+        writes in prop::collection::vec(
+            (any::<bool>(), 0u64..4096, prop::collection::vec(any::<u8>(), 1..24)),
+            1..64
+        )
+    ) {
+        let mut image = MemoryImage::new();
+        let mut model: HashMap<(Space, u64), u8> = HashMap::new();
+        for (persistent, off, bytes) in &writes {
+            let space = if *persistent { Space::Persistent } else { Space::Volatile };
+            let addr = MemAddr::new(space, *off);
+            image.write(addr, bytes).unwrap();
+            for (i, &b) in bytes.iter().enumerate() {
+                model.insert((space, off + i as u64), b);
+            }
+        }
+        for space in [Space::Volatile, Space::Persistent] {
+            let mut buf = vec![0u8; 4200];
+            image.read(MemAddr::new(space, 0), &mut buf).unwrap();
+            for (i, &b) in buf.iter().enumerate() {
+                let want = model.get(&(space, i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(b, want, "byte {} of {:?}", i, space);
+            }
+        }
+    }
+
+    /// Live allocations never overlap, are properly aligned, and freeing
+    /// everything lets a large allocation reuse the space.
+    #[test]
+    fn allocator_invariants(
+        ops in prop::collection::vec((1u64..256, 0u32..7, any::<bool>()), 1..80)
+    ) {
+        let mut alloc = PersistentAllocator::new();
+        let mut live: Vec<(MemAddr, u64)> = Vec::new();
+        for (size, align_pow, free_one) in ops {
+            let align = 1u64 << align_pow;
+            if free_one && !live.is_empty() {
+                let (addr, _) = live.swap_remove(0);
+                alloc.free(addr).unwrap();
+            } else {
+                let a = alloc.alloc(size, align).unwrap();
+                prop_assert!(a.is_aligned(align));
+                prop_assert!(a.offset() > 0);
+                live.push((a, size));
+            }
+            // No two live allocations overlap.
+            let mut spans: Vec<(u64, u64)> =
+                live.iter().map(|&(a, s)| (a.offset(), s)).collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+            prop_assert_eq!(alloc.live_count(), live.len());
+        }
+        // Drain and verify reuse below the high-water mark.
+        let hw = alloc.high_water();
+        for (a, _) in live.drain(..) {
+            alloc.free(a).unwrap();
+        }
+        if hw > 64 {
+            let big = alloc.alloc(hw - 64, 1).unwrap();
+            prop_assert!(big.offset() < hw, "freed space should be reused");
+        }
+    }
+
+    /// blocks_of covers exactly the bytes of the access: every byte's
+    /// block is in the range, and every block in the range contains at
+    /// least one accessed byte.
+    #[test]
+    fn blocks_cover_access_exactly(
+        off in 0u64..10_000,
+        len in 1u64..300,
+        gran_pow in 0u32..12,
+    ) {
+        let g = TrackingGranularity::new(1 << gran_pow).unwrap();
+        let addr = MemAddr::persistent(off);
+        let blocks: Vec<_> = g.blocks_of(addr, len).collect();
+        // Contiguous and sorted.
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[1].index, w[0].index + 1);
+        }
+        // Every accessed byte falls in a listed block.
+        for i in 0..len {
+            let b = g.block_of(addr.add(i));
+            prop_assert!(blocks.contains(&b));
+        }
+        // Boundary blocks actually contain accessed bytes.
+        prop_assert_eq!(blocks.first().unwrap().index, off / g.bytes());
+        prop_assert_eq!(blocks.last().unwrap().index, (off + len - 1) / g.bytes());
+    }
+
+    /// contains_access agrees with blocks_of producing exactly one block.
+    #[test]
+    fn contains_access_consistent(
+        off in 0u64..4096,
+        len in 1u64..64,
+        gran_pow in 0u32..9,
+    ) {
+        let g = AtomicPersistSize::new(1 << gran_pow).unwrap();
+        let addr = MemAddr::volatile(off);
+        let single = g.blocks_of(addr, len).count() == 1 && len <= g.bytes();
+        prop_assert_eq!(g.contains_access(addr, len), single);
+    }
+
+    /// Address packing round-trips and preserves ordering within a space.
+    #[test]
+    fn addr_roundtrip(offsets in prop::collection::vec(0u64..(1 << 40), 1..32)) {
+        for &o in &offsets {
+            for a in [MemAddr::volatile(o), MemAddr::persistent(o)] {
+                prop_assert_eq!(MemAddr::from_bits(a.to_bits()), a);
+                prop_assert_eq!(a.align_down(8).offset() % 8, 0);
+                prop_assert!(a.align_down(8).offset() <= a.offset());
+            }
+        }
+    }
+}
+
+#[test]
+fn drop_volatile_is_exactly_a_failure() {
+    let mut image = MemoryImage::new();
+    image.write_u64(MemAddr::volatile(0), 1).unwrap();
+    image.write_u64(MemAddr::persistent(0), 2).unwrap();
+    let persistent_before = image.read_u64(MemAddr::persistent(0)).unwrap();
+    image.drop_volatile();
+    assert_eq!(image.read_u64(MemAddr::volatile(0)).unwrap(), 0);
+    assert_eq!(image.read_u64(MemAddr::persistent(0)).unwrap(), persistent_before);
+}

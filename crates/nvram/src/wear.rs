@@ -1,0 +1,154 @@
+//! Write-endurance (wear) accounting.
+//!
+//! NVRAM cells endure a limited number of writes (§2.1); the paper sets
+//! wear aside ("we do not consider write endurance in this work") but
+//! notes in §3 that "coalescing also reduces the total number of NVRAM
+//! writes, which may be important for NVRAM devices that are subject to
+//! wear." This module quantifies that: given a persist DAG (whose nodes
+//! are post-coalescing persists), it counts device writes per
+//! wear-granularity block, with and without coalescing, and summarizes
+//! the imbalance a wear-leveling layer (e.g. Start-Gap, also cited in
+//! §2.1) would need to absorb.
+
+use persist_mem::AtomicPersistSize;
+use persistency::dag::PersistDag;
+use std::collections::HashMap;
+
+/// Per-block write counts and aggregate wear statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearReport {
+    /// Device writes actually performed (one per persist node).
+    pub device_writes: u64,
+    /// Writes that would have occurred without coalescing (one per store).
+    pub raw_writes: u64,
+    /// Distinct wear blocks touched.
+    pub blocks_touched: u64,
+    /// Writes to the most-written block.
+    pub max_block_writes: u64,
+    /// Mean writes per touched block.
+    pub mean_block_writes: f64,
+}
+
+impl WearReport {
+    /// Fraction of raw writes eliminated by coalescing — §3's wear
+    /// benefit.
+    pub fn coalescing_savings(&self) -> f64 {
+        if self.raw_writes == 0 {
+            0.0
+        } else {
+            1.0 - self.device_writes as f64 / self.raw_writes as f64
+        }
+    }
+
+    /// Ratio of the hottest block to the mean — the skew a wear-leveling
+    /// scheme must flatten (1.0 = perfectly even).
+    pub fn hotspot_factor(&self) -> f64 {
+        if self.mean_block_writes == 0.0 {
+            0.0
+        } else {
+            self.max_block_writes as f64 / self.mean_block_writes
+        }
+    }
+}
+
+/// Counts wear over `dag` at the given wear-block granularity (typically
+/// the device's atomic persist size or its internal row size).
+pub fn analyze(dag: &PersistDag, wear_block: AtomicPersistSize) -> WearReport {
+    let mut per_block: HashMap<u64, u64> = HashMap::new();
+    let mut raw = 0u64;
+    for node in dag.nodes() {
+        raw += node.writes.len() as u64;
+        // One device write per persist node, against the block of its
+        // first write (coalesced writes share the block by construction).
+        let blk = wear_block.block_of(node.writes[0].addr).to_bits();
+        *per_block.entry(blk).or_insert(0) += 1;
+    }
+    let device_writes = dag.len() as u64;
+    let blocks = per_block.len() as u64;
+    let max = per_block.values().copied().max().unwrap_or(0);
+    WearReport {
+        device_writes,
+        raw_writes: raw,
+        blocks_touched: blocks,
+        max_block_writes: max,
+        mean_block_writes: if blocks == 0 { 0.0 } else { device_writes as f64 / blocks as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::{FreeRunScheduler, TracedMem};
+    use persistency::{AnalysisConfig, Model};
+
+    fn hot_head_dag(coalescing: bool) -> PersistDag {
+        // A queue-like pattern: fresh data slots plus a repeatedly
+        // persisted head word.
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let head = ctx.palloc(8, 8).unwrap();
+            let data = ctx.palloc(4096, 64).unwrap();
+            for i in 0..32u64 {
+                ctx.store_u64(data.add(64 * i), i);
+                ctx.store_u64(head, i + 1); // same word every iteration
+            }
+        });
+        let mut cfg = AnalysisConfig::new(Model::Strand);
+        if !coalescing {
+            cfg = cfg.without_coalescing();
+        }
+        PersistDag::build(&trace, &cfg).unwrap()
+    }
+
+    #[test]
+    fn coalescing_reduces_device_writes() {
+        let with = analyze(&hot_head_dag(true), AtomicPersistSize::default());
+        let without = analyze(&hot_head_dag(false), AtomicPersistSize::default());
+        assert_eq!(with.raw_writes, without.raw_writes);
+        assert!(
+            with.device_writes < without.device_writes,
+            "coalescing must reduce writes: {} vs {}",
+            with.device_writes,
+            without.device_writes
+        );
+        assert!(with.coalescing_savings() > 0.3);
+        assert_eq!(without.coalescing_savings(), 0.0);
+    }
+
+    #[test]
+    fn hotspot_is_the_head_word() {
+        let r = analyze(&hot_head_dag(false), AtomicPersistSize::default());
+        // 32 data blocks written once; the head block written 32 times.
+        assert_eq!(r.max_block_writes, 32);
+        assert!(r.hotspot_factor() > 10.0);
+    }
+
+    #[test]
+    fn uniform_writes_have_no_hotspot() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let a = ctx.palloc(1024, 64).unwrap();
+            for i in 0..16u64 {
+                ctx.store_u64(a.add(64 * i), i);
+            }
+        });
+        let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Epoch)).unwrap();
+        let r = analyze(&dag, AtomicPersistSize::default());
+        assert_eq!(r.device_writes, 16);
+        assert_eq!(r.blocks_touched, 16);
+        assert!((r.hotspot_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dag_is_benign() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            ctx.store_u64(persist_mem::MemAddr::volatile(0), 1);
+        });
+        let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Epoch)).unwrap();
+        let r = analyze(&dag, AtomicPersistSize::default());
+        assert_eq!(r.device_writes, 0);
+        assert_eq!(r.coalescing_savings(), 0.0);
+        assert_eq!(r.hotspot_factor(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Hand-authored traces, including non-SC visibility orders.
+//!
+//! The paper's Figure 1 argument concerns an execution where a thread's
+//! *store visibility* reorders across a persist barrier — something the SC
+//! capture executor can never produce. `TraceBuilder` lets tests and
+//! analyses construct such executions directly: program order is the order
+//! ops are added per thread, and the visibility order may be overridden
+//! with an explicit permutation.
+
+use crate::{Event, Op, ThreadId, Trace};
+use persist_mem::MemAddr;
+
+/// Incremental builder for [`Trace`]s.
+///
+/// # Example
+///
+/// ```rust
+/// use mem_trace::TraceBuilder;
+/// use persist_mem::MemAddr;
+///
+/// let a = MemAddr::persistent(0);
+/// let mut b = TraceBuilder::new(2);
+/// b.store(0, a, 1).persist_barrier(0);
+/// b.store(1, a, 2);
+/// let trace = b.build();
+/// assert_eq!(trace.events().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    nthreads: u32,
+    /// Per-thread programs, in program order.
+    programs: Vec<Vec<Op>>,
+    /// Visibility order as (thread, po) pairs; grows as ops are pushed.
+    visibility: Vec<(u32, u32)>,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for `nthreads` threads.
+    pub fn new(nthreads: u32) -> Self {
+        TraceBuilder {
+            nthreads,
+            programs: vec![Vec::new(); nthreads as usize],
+            visibility: Vec::new(),
+        }
+    }
+
+    /// Appends `op` to `thread`'s program; its default visibility position
+    /// is the current end of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn op(&mut self, thread: u32, op: Op) -> &mut Self {
+        assert!(thread < self.nthreads, "thread {thread} out of range");
+        let po = self.programs[thread as usize].len() as u32;
+        self.programs[thread as usize].push(op);
+        self.visibility.push((thread, po));
+        self
+    }
+
+    /// Appends an 8-byte store.
+    pub fn store(&mut self, thread: u32, addr: MemAddr, value: u64) -> &mut Self {
+        self.op(thread, Op::Store { addr, len: 8, value })
+    }
+
+    /// Appends an 8-byte load observing `value`.
+    pub fn load(&mut self, thread: u32, addr: MemAddr, value: u64) -> &mut Self {
+        self.op(thread, Op::Load { addr, len: 8, value })
+    }
+
+    /// Appends a persist barrier.
+    pub fn persist_barrier(&mut self, thread: u32) -> &mut Self {
+        self.op(thread, Op::PersistBarrier)
+    }
+
+    /// Appends a strand barrier.
+    pub fn new_strand(&mut self, thread: u32) -> &mut Self {
+        self.op(thread, Op::NewStrand)
+    }
+
+    /// Appends a memory consistency barrier.
+    pub fn mem_barrier(&mut self, thread: u32) -> &mut Self {
+        self.op(thread, Op::MemBarrier)
+    }
+
+    /// Replaces the visibility order with an explicit permutation of
+    /// `(thread, program-order index)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of every op added so far.
+    pub fn set_visibility(&mut self, order: Vec<(u32, u32)>) -> &mut Self {
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = Vec::new();
+        for (t, prog) in self.programs.iter().enumerate() {
+            for po in 0..prog.len() as u32 {
+                expect.push((t as u32, po));
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(sorted, expect, "visibility order must be a permutation of all ops");
+        self.visibility = order;
+        self
+    }
+
+    /// Builds the trace in the current visibility order.
+    pub fn build(&self) -> Trace {
+        let events = self
+            .visibility
+            .iter()
+            .map(|&(t, po)| Event {
+                thread: ThreadId(t),
+                po,
+                op: self.programs[t as usize][po as usize],
+            })
+            .collect();
+        Trace::from_events(self.nthreads, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_visibility_is_insertion_order() {
+        let a = MemAddr::persistent(0);
+        let mut b = TraceBuilder::new(2);
+        b.store(0, a, 1).store(1, a.add(8), 2).store(0, a.add(16), 3);
+        let t = b.build();
+        let threads: Vec<u32> = t.events().iter().map(|e| e.thread.0).collect();
+        assert_eq!(threads, vec![0, 1, 0]);
+        t.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn reordered_visibility_decouples_po() {
+        // Thread 0's program: store A; barrier; store B.
+        // Visibility: B before A (TSO-like store reordering would not allow
+        // this, but RMO would).
+        let a = MemAddr::persistent(0);
+        let bb = MemAddr::persistent(64);
+        let mut b = TraceBuilder::new(1);
+        b.store(0, a, 1).persist_barrier(0).store(0, bb, 2);
+        b.set_visibility(vec![(0, 2), (0, 0), (0, 1)]);
+        let t = b.build();
+        assert!(matches!(t.events()[0].op, Op::Store { value: 2, .. }));
+        assert_eq!(t.events()[0].po, 2);
+        // This trace violates per-thread program order on purpose.
+        assert!(t.validate_sc().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_visibility_rejected() {
+        let mut b = TraceBuilder::new(1);
+        b.persist_barrier(0);
+        b.set_visibility(vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_thread_rejected() {
+        let mut b = TraceBuilder::new(1);
+        b.persist_barrier(1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Trace event model.
+
+use core::fmt;
+use persist_mem::MemAddr;
+
+/// Identifier of a simulated thread (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The id as a `u64`.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A single traced operation.
+///
+/// Data accesses carry their width (`len` ≤ 8 bytes; wider copies are split
+/// into word accesses by [`ThreadCtx`](crate::ThreadCtx)) and the value
+/// moved, so traces can be replayed and recovery states materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A load of `len` bytes; `value` holds the bytes read (little-endian,
+    /// low `len` bytes significant).
+    Load {
+        /// First byte accessed.
+        addr: MemAddr,
+        /// Access width in bytes (1..=8).
+        len: u8,
+        /// Value read.
+        value: u64,
+    },
+    /// A store of `len` bytes. A store to the persistent address space is a
+    /// *persist* in the paper's terminology.
+    Store {
+        /// First byte accessed.
+        addr: MemAddr,
+        /// Access width in bytes (1..=8).
+        len: u8,
+        /// Value written.
+        value: u64,
+    },
+    /// An atomic read-modify-write (both a load and a store for conflict
+    /// purposes). Used by the traced locks.
+    Rmw {
+        /// First byte accessed.
+        addr: MemAddr,
+        /// Access width in bytes (1..=8).
+        len: u8,
+        /// Value read.
+        old: u64,
+        /// Value written.
+        new: u64,
+    },
+    /// Persist barrier (§5.2): orders this thread's preceding persists
+    /// before its subsequent ones; divides execution into persist epochs.
+    PersistBarrier,
+    /// Memory consistency barrier: orders store *visibility* on relaxed
+    /// consistency models (§4.2: "relaxing persistency requires separate
+    /// memory consistency and persistency barriers"). Under strict
+    /// persistency on a relaxed model this is also the only source of
+    /// same-thread persist order; epoch/strand persistency ignore it for
+    /// persist ordering.
+    MemBarrier,
+    /// Strand barrier (§5.3): begins a new persist strand, clearing all
+    /// previously observed persist dependences of the executing thread.
+    NewStrand,
+    /// Persist sync (§4.1, buffered strict persistency): drains all of this
+    /// thread's outstanding persists before execution continues.
+    PersistSync,
+    /// Persistent allocation marker (`pmalloc`).
+    PAlloc {
+        /// Start of the allocation.
+        addr: MemAddr,
+        /// Allocation size in bytes.
+        size: u64,
+    },
+    /// Persistent free marker (`pfree`).
+    PFree {
+        /// Start of the freed allocation.
+        addr: MemAddr,
+    },
+    /// Start of a logical work item (e.g. a queue insert), for per-insert
+    /// accounting and the §7 insert-distance validation.
+    WorkBegin {
+        /// Caller-chosen work item id.
+        id: u64,
+    },
+    /// End of a logical work item.
+    WorkEnd {
+        /// Caller-chosen work item id.
+        id: u64,
+    },
+}
+
+impl Op {
+    /// The address/width of the data access, if this op touches memory.
+    #[inline]
+    pub fn access(&self) -> Option<(MemAddr, u8)> {
+        match *self {
+            Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
+                Some((addr, len))
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` if the op writes memory (store or RMW).
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Store { .. } | Op::Rmw { .. })
+    }
+
+    /// `true` if the op reads memory (load or RMW).
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Rmw { .. })
+    }
+
+    /// `true` if the op is a write to the persistent address space — a
+    /// *persist* in the paper's terminology.
+    #[inline]
+    pub fn is_persist(&self) -> bool {
+        match *self {
+            Op::Store { addr, .. } | Op::Rmw { addr, .. } => addr.is_persistent(),
+            _ => false,
+        }
+    }
+
+    /// The value written, if the op writes.
+    #[inline]
+    pub fn written_value(&self) -> Option<u64> {
+        match *self {
+            Op::Store { value, .. } => Some(value),
+            Op::Rmw { new, .. } => Some(new),
+            _ => None,
+        }
+    }
+}
+
+/// One event in a trace: an operation performed by a thread.
+///
+/// Events appear in a [`Trace`](crate::Trace) in *visibility order* (the
+/// order the recovery observer and all processors agree on under SC). `po`
+/// is the per-thread program-order index, which the capture executor keeps
+/// consistent with visibility order; the [`TraceBuilder`](crate::TraceBuilder)
+/// may deliberately decouple the two to model relaxed consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Issuing thread.
+    pub thread: ThreadId,
+    /// Program-order index within the issuing thread.
+    pub po: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} {:?}", self.thread, self.po, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_classification() {
+        let p = Op::Store { addr: MemAddr::persistent(8), len: 8, value: 1 };
+        let v = Op::Store { addr: MemAddr::volatile(8), len: 8, value: 1 };
+        let l = Op::Load { addr: MemAddr::persistent(8), len: 8, value: 1 };
+        assert!(p.is_persist());
+        assert!(!v.is_persist());
+        assert!(!l.is_persist());
+        assert!(Op::Rmw { addr: MemAddr::persistent(0), len: 8, old: 0, new: 1 }.is_persist());
+    }
+
+    #[test]
+    fn rmw_is_both_read_and_write() {
+        let r = Op::Rmw { addr: MemAddr::volatile(0), len: 8, old: 0, new: 1 };
+        assert!(r.is_read() && r.is_write());
+        assert_eq!(r.written_value(), Some(1));
+    }
+
+    #[test]
+    fn barriers_have_no_access() {
+        assert_eq!(Op::PersistBarrier.access(), None);
+        assert_eq!(Op::NewStrand.access(), None);
+        assert_eq!(Op::PersistSync.access(), None);
+        assert!(!Op::PersistBarrier.is_write());
+    }
+
+    #[test]
+    fn event_display() {
+        let e = Event {
+            thread: ThreadId(3),
+            po: 17,
+            op: Op::PersistBarrier,
+        };
+        assert_eq!(e.to_string(), "t3#17 PersistBarrier");
+    }
+}

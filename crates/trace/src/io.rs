@@ -1,0 +1,261 @@
+//! Trace serialization: capture once, analyze many times.
+//!
+//! The paper's tracing framework is a standalone artifact ("our tracing
+//! framework is available online", §7); separating capture from analysis
+//! lets a slow instrumented run feed any number of persistency analyses.
+//! The format is a compact little-endian binary stream; both functions
+//! take readers/writers by value (pass `&mut` for reuse).
+
+use crate::{Event, Op, ThreadId, Trace};
+use persist_mem::MemAddr;
+use std::io::{self, Read, Write};
+
+/// File magic: "MPTR" + format version 1.
+const MAGIC: [u8; 8] = *b"MPTRACE1";
+
+/// Operation tags.
+const T_LOAD: u8 = 0;
+const T_STORE: u8 = 1;
+const T_RMW: u8 = 2;
+const T_PBARRIER: u8 = 3;
+const T_MBARRIER: u8 = 4;
+const T_NEWSTRAND: u8 = 5;
+const T_PSYNC: u8 = 6;
+const T_PALLOC: u8 = 7;
+const T_PFREE: u8 = 8;
+const T_WBEGIN: u8 = 9;
+const T_WEND: u8 = 10;
+
+fn w64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Writes `trace` to `w` in the MPTRACE1 format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w32(&mut w, trace.thread_count())?;
+    w64(&mut w, trace.events().len() as u64)?;
+    for e in trace.events() {
+        w32(&mut w, e.thread.0)?;
+        w32(&mut w, e.po)?;
+        match e.op {
+            Op::Load { addr, len, value } => {
+                w.write_all(&[T_LOAD, len])?;
+                w64(&mut w, addr.to_bits())?;
+                w64(&mut w, value)?;
+            }
+            Op::Store { addr, len, value } => {
+                w.write_all(&[T_STORE, len])?;
+                w64(&mut w, addr.to_bits())?;
+                w64(&mut w, value)?;
+            }
+            Op::Rmw { addr, len, old, new } => {
+                w.write_all(&[T_RMW, len])?;
+                w64(&mut w, addr.to_bits())?;
+                w64(&mut w, old)?;
+                w64(&mut w, new)?;
+            }
+            Op::PersistBarrier => w.write_all(&[T_PBARRIER])?,
+            Op::MemBarrier => w.write_all(&[T_MBARRIER])?,
+            Op::NewStrand => w.write_all(&[T_NEWSTRAND])?,
+            Op::PersistSync => w.write_all(&[T_PSYNC])?,
+            Op::PAlloc { addr, size } => {
+                w.write_all(&[T_PALLOC])?;
+                w64(&mut w, addr.to_bits())?;
+                w64(&mut w, size)?;
+            }
+            Op::PFree { addr } => {
+                w.write_all(&[T_PFREE])?;
+                w64(&mut w, addr.to_bits())?;
+            }
+            Op::WorkBegin { id } => {
+                w.write_all(&[T_WBEGIN])?;
+                w64(&mut w, id)?;
+            }
+            Op::WorkEnd { id } => {
+                w.write_all(&[T_WEND])?;
+                w64(&mut w, id)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r` (MPTRACE1 format).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, tag, or access length, and
+/// propagates I/O errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not an MPTRACE1 trace"));
+    }
+    let nthreads = r32(&mut r)?;
+    let count = r64(&mut r)?;
+    if count > (1 << 32) {
+        return Err(bad("unreasonable event count"));
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let thread = ThreadId(r32(&mut r)?);
+        let po = r32(&mut r)?;
+        let tag = r8(&mut r)?;
+        let read_len = |r: &mut R| -> io::Result<u8> {
+            let len = r8(r)?;
+            if (1..=8).contains(&len) {
+                Ok(len)
+            } else {
+                Err(bad("access length out of range"))
+            }
+        };
+        let op = match tag {
+            T_LOAD => {
+                let len = read_len(&mut r)?;
+                Op::Load { addr: MemAddr::from_bits(r64(&mut r)?), len, value: r64(&mut r)? }
+            }
+            T_STORE => {
+                let len = read_len(&mut r)?;
+                Op::Store { addr: MemAddr::from_bits(r64(&mut r)?), len, value: r64(&mut r)? }
+            }
+            T_RMW => {
+                let len = read_len(&mut r)?;
+                Op::Rmw {
+                    addr: MemAddr::from_bits(r64(&mut r)?),
+                    len,
+                    old: r64(&mut r)?,
+                    new: r64(&mut r)?,
+                }
+            }
+            T_PBARRIER => Op::PersistBarrier,
+            T_MBARRIER => Op::MemBarrier,
+            T_NEWSTRAND => Op::NewStrand,
+            T_PSYNC => Op::PersistSync,
+            T_PALLOC => Op::PAlloc { addr: MemAddr::from_bits(r64(&mut r)?), size: r64(&mut r)? },
+            T_PFREE => Op::PFree { addr: MemAddr::from_bits(r64(&mut r)?) },
+            T_WBEGIN => Op::WorkBegin { id: r64(&mut r)? },
+            T_WEND => Op::WorkEnd { id: r64(&mut r)? },
+            _ => return Err(bad("unknown operation tag")),
+        };
+        events.push(Event { thread, po, op });
+    }
+    Ok(Trace::from_events(nthreads, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FreeRunScheduler, TraceBuilder, TracedMem};
+
+    fn sample_trace() -> Trace {
+        let mem = TracedMem::new(FreeRunScheduler);
+        mem.run(2, |ctx| {
+            let a = ctx.palloc(128, 64).unwrap();
+            ctx.work_begin(ctx.thread_id().as_u64());
+            ctx.store_u64(a, 1);
+            ctx.store_n(a.add(8), 3, 0x1234);
+            ctx.load_u64(a);
+            ctx.cas_u64(persist_mem::MemAddr::volatile(0), 0, 1);
+            ctx.persist_barrier();
+            ctx.mem_barrier();
+            ctx.new_strand();
+            ctx.persist_sync();
+            ctx.pfree(a).unwrap();
+            ctx.work_end(ctx.thread_id().as_u64());
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_builder_traces() {
+        let a = persist_mem::MemAddr::persistent(0);
+        let mut b = TraceBuilder::new(2);
+        b.store(0, a, 1).persist_barrier(0).store(0, a.add(64), 2);
+        b.store(1, a, 3);
+        b.set_visibility(vec![(0, 2), (1, 0), (0, 0), (0, 1)]);
+        let t = b.build();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        for cut in [buf.len() / 3, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "truncated at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tag_and_len() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Corrupt the first event's tag byte (offset: magic 8 + threads 4 +
+        // count 8 + thread 4 + po 4 = 28).
+        let mut bad_tag = buf.clone();
+        bad_tag[28] = 0xFF;
+        assert!(read_trace(bad_tag.as_slice()).is_err());
+    }
+
+    #[test]
+    fn format_is_stable_for_empty_trace() {
+        let t = Trace::from_events(1, vec![]);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 4 + 8);
+        assert_eq!(&buf[..8], b"MPTRACE1");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.events().len(), 0);
+        assert_eq!(back.thread_count(), 1);
+    }
+}

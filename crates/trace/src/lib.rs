@@ -1,0 +1,63 @@
+//! SC memory-trace capture — the reproduction's stand-in for the paper's
+//! PIN-based tracing pipeline (§7 of *Memory Persistency*, ISCA 2014).
+//!
+//! The paper instruments queue benchmarks with PIN, serializing every memory
+//! access through a bank of per-address locks so that the captured trace is
+//! an exact sequentially consistent interleaving ("analysis-atomicity").
+//! This crate provides the same artifact for workloads written in Rust:
+//!
+//! - [`Event`]/[`Op`] — the trace event model: loads, stores, RMWs, persist
+//!   barriers, strand barriers, persist sync, persistent malloc/free, and
+//!   work markers,
+//! - [`TracedMem`]/[`ThreadCtx`] — a shared simulated memory; every access
+//!   takes the owning word shard locks, is stamped from a global sequence
+//!   counter, and is appended to the issuing thread's event buffer,
+//! - [`FreeRunScheduler`]/[`SeededScheduler`] — interleaving control:
+//!   free-running real threads (like the paper's native+PIN runs) or a
+//!   deterministic seeded round-robin gate for reproducible tests,
+//! - [`locks`] — spin, ticket and MCS locks implemented *on top of the
+//!   traced memory*, so their accesses appear in the trace (the paper uses
+//!   MCS locks for all critical sections),
+//! - [`Trace`] — the merged, totally ordered trace with SC validation and
+//!   replay,
+//! - [`TraceBuilder`] — hand-authored traces, including non-SC visibility
+//!   orders used to reproduce the paper's Figure 1 cycle argument,
+//! - [`stats`] — insert-distance distributions (§7 "Performance
+//!   Validation"),
+//! - [`io`] — compact binary trace serialization (capture once, analyze
+//!   many).
+//!
+//! # Example
+//!
+//! ```rust
+//! use mem_trace::{TracedMem, FreeRunScheduler};
+//! use persist_mem::MemAddr;
+//!
+//! let mem = TracedMem::new(FreeRunScheduler);
+//! let trace = mem.run(2, |ctx| {
+//!     let a = MemAddr::persistent(64);
+//!     ctx.store_u64(a.add(8 * ctx.thread_id().as_u64()), 7);
+//!     ctx.persist_barrier();
+//! });
+//! assert_eq!(trace.events().len(), 4); // 2 stores + 2 barriers
+//! trace.validate_sc().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod event;
+pub mod io;
+pub mod locks;
+mod mem;
+pub mod profile;
+mod sched;
+pub mod stats;
+mod trace;
+
+pub use builder::TraceBuilder;
+pub use event::{Event, Op, ThreadId};
+pub use mem::{ThreadCtx, TracedMem};
+pub use sched::{FreeRunScheduler, Scheduler, SeededScheduler};
+pub use trace::{ScViolation, Trace};

@@ -1,0 +1,566 @@
+//! Traced shared memory and the per-thread access API.
+
+use crate::{Event, Op, Scheduler, ThreadId, Trace};
+use parking_lot::{Mutex, MutexGuard};
+use persist_mem::{MemAddr, MemError, PersistentAllocator};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of word shards. Each 8-byte word of either address space maps to
+/// one shard; a shard's mutex is the paper's "bank of locks" providing
+/// analysis-atomicity (§7).
+const NSHARDS: usize = 256;
+
+/// Key of an aligned 8-byte word: `(space bit << 63) | word index`.
+#[inline]
+fn word_key(addr: MemAddr) -> u64 {
+    let space = addr.to_bits() & (1 << 63);
+    space | (addr.offset() >> 3)
+}
+
+#[inline]
+fn shard_of(key: u64) -> usize {
+    // Multiplicative hash so adjacent words land in different shards.
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % NSHARDS
+}
+
+struct Inner<S> {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    seq: AtomicU64,
+    alloc: Mutex<PersistentAllocator>,
+    sched: S,
+}
+
+/// Shared traced memory.
+///
+/// Workloads run against a `TracedMem` through per-thread [`ThreadCtx`]
+/// handles; every access is serialized through per-word shard locks and
+/// stamped from a global sequence counter, so the merged trace is an exact
+/// sequentially consistent interleaving of the execution.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+pub struct TracedMem<S> {
+    inner: Inner<S>,
+}
+
+impl<S> std::fmt::Debug for TracedMem<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracedMem")
+            .field("events_issued", &self.inner.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Scheduler> TracedMem<S> {
+    /// Creates an empty traced memory driven by the given scheduler.
+    pub fn new(sched: S) -> Self {
+        TracedMem {
+            inner: Inner {
+                shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                seq: AtomicU64::new(0),
+                alloc: Mutex::new(PersistentAllocator::new()),
+                sched,
+            },
+        }
+    }
+
+    /// Allocates persistent memory *before* the traced run (setup that
+    /// should not appear in the trace, e.g. pre-sizing the queue's data
+    /// segment is still traced via [`ThreadCtx::palloc`]; use this for
+    /// harness-internal scratch space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError::BadAlloc`] for invalid requests.
+    pub fn setup_alloc(&self, size: u64, align: u64) -> Result<MemAddr, MemError> {
+        self.inner.alloc.lock().alloc(size, align)
+    }
+
+    /// Runs `nthreads` copies of `f`, each with its own [`ThreadCtx`], and
+    /// returns the merged trace.
+    ///
+    /// Threads are real OS threads; the scheduler decides interleaving.
+    /// Each thread's closure receives a context whose
+    /// [`thread_id`](ThreadCtx::thread_id) identifies it.
+    pub fn run<F>(self, nthreads: u32, f: F) -> Trace
+    where
+        F: Fn(&ThreadCtx<'_, S>) + Sync,
+    {
+        let inner = &self.inner;
+        // Register every thread before any runs so deterministic schedulers
+        // see the full runnable set from the first grant.
+        for t in 0..nthreads {
+            inner.sched.register(ThreadId(t));
+        }
+        let mut buffers: Vec<Vec<(u64, Event)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|t| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let tid = ThreadId(t);
+                        let ctx = ThreadCtx {
+                            inner,
+                            tid,
+                            po: Cell::new(0),
+                            buf: RefCell::new(Vec::new()),
+                        };
+                        f(&ctx);
+                        inner.sched.unregister(tid);
+                        ctx.buf.into_inner()
+                    })
+                })
+                .collect();
+            for h in handles {
+                buffers.push(h.join().expect("traced thread panicked"));
+            }
+        });
+        let mut merged: Vec<(u64, Event)> = buffers.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|&(seq, _)| seq);
+        debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0), "duplicate sequence stamps");
+        Trace::from_events(nthreads, merged.into_iter().map(|(_, e)| e).collect())
+    }
+}
+
+/// Per-thread handle for issuing traced operations.
+///
+/// All data accesses are at most 8 bytes wide; [`ThreadCtx::copy_bytes`]
+/// splits larger copies into word stores, mirroring how the paper's traced
+/// `COPY` decomposes into individual store instructions.
+pub struct ThreadCtx<'m, S> {
+    inner: &'m Inner<S>,
+    tid: ThreadId,
+    po: Cell<u32>,
+    buf: RefCell<Vec<(u64, Event)>>,
+}
+
+impl<S> std::fmt::Debug for ThreadCtx<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx").field("tid", &self.tid).finish_non_exhaustive()
+    }
+}
+
+/// One locked shard: its index and the guard over its word map.
+type LockedShard<'g> = (usize, MutexGuard<'g, HashMap<u64, u64>>);
+
+/// Locked view of the (up to two) word shards an access touches.
+struct WordView<'g> {
+    guards: [Option<LockedShard<'g>>; 2],
+}
+
+impl WordView<'_> {
+    fn get(&mut self, key: u64) -> u64 {
+        let shard = shard_of(key);
+        for g in self.guards.iter_mut().flatten() {
+            if g.0 == shard {
+                return g.1.get(&key).copied().unwrap_or(0);
+            }
+        }
+        unreachable!("word key outside locked shards");
+    }
+
+    fn set(&mut self, key: u64, value: u64) {
+        let shard = shard_of(key);
+        for g in self.guards.iter_mut().flatten() {
+            if g.0 == shard {
+                g.1.insert(key, value);
+                return;
+            }
+        }
+        unreachable!("word key outside locked shards");
+    }
+}
+
+impl<'m, S: Scheduler> ThreadCtx<'m, S> {
+    /// This context's thread id.
+    #[inline]
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    fn next_po(&self) -> u32 {
+        let po = self.po.get();
+        self.po.set(po + 1);
+        po
+    }
+
+    fn record(&self, seq: u64, op: Op) {
+        let e = Event { thread: self.tid, po: self.next_po(), op };
+        self.buf.borrow_mut().push((seq, e));
+    }
+
+    /// Performs `body` atomically with respect to all other accesses that
+    /// touch the same words, stamping it with a fresh global sequence
+    /// number. Returns `(seq, body result)`.
+    fn atomic_access<R>(
+        &self,
+        addr: MemAddr,
+        len: u8,
+        body: impl FnOnce(&mut WordView<'_>) -> R,
+    ) -> (u64, R) {
+        assert!((1..=8).contains(&len), "access length must be 1..=8 bytes");
+        let first = word_key(addr);
+        let last = word_key(addr.add(len as u64 - 1));
+        let mut body = Some(body);
+        let mut out = None;
+        self.inner.sched.with_turn(self.tid, &mut || {
+            let body = body.take().expect("scheduler ran the turn closure twice");
+            let s0 = shard_of(first);
+            let s1 = shard_of(last);
+            let mut view = if first == last || s0 == s1 {
+                WordView { guards: [Some((s0, self.inner.shards[s0].lock())), None] }
+            } else {
+                // Lock in ascending shard order to avoid deadlock.
+                let (lo, hi) = if s0 < s1 { (s0, s1) } else { (s1, s0) };
+                let g_lo = self.inner.shards[lo].lock();
+                let g_hi = self.inner.shards[hi].lock();
+                WordView { guards: [Some((lo, g_lo)), Some((hi, g_hi))] }
+            };
+            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+            out = Some((seq, body(&mut view)));
+        });
+        out.expect("scheduler must run the turn closure")
+    }
+
+    fn read_raw(view: &mut WordView<'_>, addr: MemAddr, len: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..len as u64 {
+            let a = addr.add(i);
+            let w = view.get(word_key(a));
+            let byte = (w >> ((a.offset() % 8) * 8)) & 0xFF;
+            v |= byte << (i * 8);
+        }
+        v
+    }
+
+    fn write_raw(view: &mut WordView<'_>, addr: MemAddr, len: u8, value: u64) {
+        for i in 0..len as u64 {
+            let a = addr.add(i);
+            let key = word_key(a);
+            let shift = (a.offset() % 8) * 8;
+            let mut w = view.get(key);
+            w = (w & !(0xFFu64 << shift)) | (((value >> (i * 8)) & 0xFF) << shift);
+            view.set(key, w);
+        }
+    }
+
+    /// Loads `len` bytes (1..=8) at `addr`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 8.
+    pub fn load_n(&self, addr: MemAddr, len: u8) -> u64 {
+        let (seq, value) = self.atomic_access(addr, len, |v| Self::read_raw(v, addr, len));
+        self.record(seq, Op::Load { addr, len, value });
+        value
+    }
+
+    /// Stores the low `len` bytes (1..=8) of `value` at `addr`.
+    ///
+    /// A store to the persistent space is a *persist* for the persistency
+    /// analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 8.
+    pub fn store_n(&self, addr: MemAddr, len: u8, value: u64) {
+        let value = if len == 8 { value } else { value & ((1u64 << (len * 8)) - 1) };
+        let (seq, ()) = self.atomic_access(addr, len, |v| Self::write_raw(v, addr, len, value));
+        self.record(seq, Op::Store { addr, len, value });
+    }
+
+    /// Loads an aligned `u64` at `addr`.
+    pub fn load_u64(&self, addr: MemAddr) -> u64 {
+        self.load_n(addr, 8)
+    }
+
+    /// Stores an aligned `u64` at `addr`.
+    pub fn store_u64(&self, addr: MemAddr, value: u64) {
+        self.store_n(addr, 8, value)
+    }
+
+    /// Atomic compare-and-swap of an 8-byte word; returns the previous
+    /// value (success iff it equals `expected`).
+    pub fn cas_u64(&self, addr: MemAddr, expected: u64, new: u64) -> u64 {
+        let (seq, (old, written)) = self.atomic_access(addr, 8, |v| {
+            let old = Self::read_raw(v, addr, 8);
+            if old == expected {
+                Self::write_raw(v, addr, 8, new);
+                (old, new)
+            } else {
+                (old, old)
+            }
+        });
+        self.record(seq, Op::Rmw { addr, len: 8, old, new: written });
+        old
+    }
+
+    /// Atomic swap of an 8-byte word; returns the previous value.
+    pub fn swap_u64(&self, addr: MemAddr, new: u64) -> u64 {
+        let (seq, old) = self.atomic_access(addr, 8, |v| {
+            let old = Self::read_raw(v, addr, 8);
+            Self::write_raw(v, addr, 8, new);
+            old
+        });
+        self.record(seq, Op::Rmw { addr, len: 8, old, new });
+        old
+    }
+
+    /// Atomic fetch-and-add on an 8-byte word; returns the previous value.
+    pub fn fetch_add_u64(&self, addr: MemAddr, delta: u64) -> u64 {
+        let (seq, (old, new)) = self.atomic_access(addr, 8, |v| {
+            let old = Self::read_raw(v, addr, 8);
+            let new = old.wrapping_add(delta);
+            Self::write_raw(v, addr, 8, new);
+            (old, new)
+        });
+        self.record(seq, Op::Rmw { addr, len: 8, old, new });
+        old
+    }
+
+    /// Copies `data` to `dst` as a sequence of word stores — the traced
+    /// equivalent of the paper's `COPY(data[head], (length, entry), ...)`.
+    /// Chunks are 8 bytes where alignment allows, with smaller head/tail
+    /// stores at unaligned boundaries.
+    pub fn copy_bytes(&self, dst: MemAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = dst.add(off as u64);
+            // Largest chunk that does not cross an 8-byte boundary.
+            let to_boundary = 8 - (a.offset() % 8) as usize;
+            let n = to_boundary.min(data.len() - off).min(8);
+            let mut v = 0u64;
+            for (i, &b) in data[off..off + n].iter().enumerate() {
+                v |= (b as u64) << (i * 8);
+            }
+            self.store_n(a, n as u8, v);
+            off += n;
+        }
+    }
+
+    /// Reads `out.len()` bytes starting at `addr` as a sequence of word
+    /// loads.
+    pub fn read_bytes(&self, addr: MemAddr, out: &mut [u8]) {
+        let mut off = 0usize;
+        while off < out.len() {
+            let a = addr.add(off as u64);
+            let to_boundary = 8 - (a.offset() % 8) as usize;
+            let n = to_boundary.min(out.len() - off).min(8);
+            let v = self.load_n(a, n as u8);
+            for i in 0..n {
+                out[off + i] = ((v >> (i * 8)) & 0xFF) as u8;
+            }
+            off += n;
+        }
+    }
+
+    fn record_plain(&self, op: Op) {
+        let mut seq = 0;
+        self.inner.sched.with_turn(self.tid, &mut || {
+            seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        });
+        self.record(seq, op);
+    }
+
+    /// Issues a persist barrier (epoch and strand persistency annotation).
+    pub fn persist_barrier(&self) {
+        self.record_plain(Op::PersistBarrier);
+    }
+
+    /// Issues a memory consistency barrier (orders store visibility; the
+    /// annotation strict persistency relies on under relaxed consistency).
+    pub fn mem_barrier(&self) {
+        self.record_plain(Op::MemBarrier);
+    }
+
+    /// Begins a new persist strand (strand persistency annotation).
+    pub fn new_strand(&self) {
+        self.record_plain(Op::NewStrand);
+    }
+
+    /// Issues a persist sync (buffered strict persistency annotation).
+    pub fn persist_sync(&self) {
+        self.record_plain(Op::PersistSync);
+    }
+
+    /// Allocates persistent memory, recording the allocation in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadAlloc`] for a zero-size or misaligned request.
+    pub fn palloc(&self, size: u64, align: u64) -> Result<MemAddr, MemError> {
+        let addr = self.inner.alloc.lock().alloc(size, align)?;
+        self.record_plain(Op::PAlloc { addr, size });
+        Ok(addr)
+    }
+
+    /// Frees persistent memory, recording the free in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFree`] if `addr` is not a live allocation.
+    pub fn pfree(&self, addr: MemAddr) -> Result<(), MemError> {
+        self.inner.alloc.lock().free(addr)?;
+        self.record_plain(Op::PFree { addr });
+        Ok(())
+    }
+
+    /// Marks the beginning of a logical work item (e.g. one queue insert).
+    pub fn work_begin(&self, id: u64) {
+        self.record_plain(Op::WorkBegin { id });
+    }
+
+    /// Marks the end of a logical work item.
+    pub fn work_end(&self, id: u64) {
+        self.record_plain(Op::WorkEnd { id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FreeRunScheduler, SeededScheduler};
+
+    #[test]
+    fn single_thread_rw() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let a = MemAddr::persistent(64);
+            ctx.store_u64(a, 0xDEAD_BEEF);
+            assert_eq!(ctx.load_u64(a), 0xDEAD_BEEF);
+            assert_eq!(ctx.load_u64(a.add(8)), 0);
+        });
+        assert_eq!(trace.events().len(), 3);
+        trace.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn unaligned_and_partial_accesses() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let a = MemAddr::volatile(5);
+            ctx.store_n(a, 8, 0x1122_3344_5566_7788); // crosses a word boundary
+            assert_eq!(ctx.load_n(a, 8), 0x1122_3344_5566_7788);
+            ctx.store_n(a.add(2), 1, 0xFF);
+            assert_eq!(ctx.load_n(a, 8), 0x1122_3344_55FF_7788);
+        });
+        trace.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn copy_bytes_roundtrip() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let data: Vec<u8> = (0..100).collect();
+        let mem_trace = mem.run(1, |ctx| {
+            let dst = ctx.palloc(128, 64).unwrap();
+            ctx.copy_bytes(dst.add(3), &data); // force unaligned head/tail
+            let mut out = vec![0u8; 100];
+            ctx.read_bytes(dst.add(3), &mut out);
+            assert_eq!(out, data);
+        });
+        mem_trace.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn copy_bytes_word_count() {
+        // 64-byte-aligned 108-byte copy = 13 full words + one 4-byte store.
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let dst = ctx.palloc(128, 64).unwrap();
+            ctx.copy_bytes(dst, &[0u8; 108]);
+        });
+        let stores = trace.events().iter().filter(|e| e.op.is_write()).count();
+        assert_eq!(stores, 14);
+    }
+
+    #[test]
+    fn rmw_semantics() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        mem.run(1, |ctx| {
+            let a = MemAddr::volatile(0);
+            assert_eq!(ctx.cas_u64(a, 0, 5), 0); // success
+            assert_eq!(ctx.cas_u64(a, 0, 9), 5); // failure leaves 5
+            assert_eq!(ctx.load_u64(a), 5);
+            assert_eq!(ctx.swap_u64(a, 7), 5);
+            assert_eq!(ctx.fetch_add_u64(a, 3), 7);
+            assert_eq!(ctx.load_u64(a), 10);
+        });
+    }
+
+    #[test]
+    fn failed_cas_records_old_value_as_written() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let a = MemAddr::volatile(0);
+            ctx.store_u64(a, 5);
+            ctx.cas_u64(a, 0, 9); // fails
+        });
+        let Op::Rmw { old, new, .. } = trace.events()[1].op else {
+            panic!("expected rmw")
+        };
+        assert_eq!((old, new), (5, 5));
+        trace.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn multithreaded_counter_is_atomic() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(8, |ctx| {
+            let a = MemAddr::volatile(0);
+            for _ in 0..100 {
+                ctx.fetch_add_u64(a, 1);
+            }
+        });
+        // Replay: final value must be 800.
+        let image = trace.final_image();
+        assert_eq!(image.read_u64(MemAddr::volatile(0)).unwrap(), 800);
+        trace.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed| {
+            let mem = TracedMem::new(SeededScheduler::new(seed));
+            mem.run(4, |ctx| {
+                let a = MemAddr::volatile(0);
+                for _ in 0..50 {
+                    ctx.fetch_add_u64(a, 1 + ctx.thread_id().as_u64());
+                }
+            })
+        };
+        let t1 = run(99);
+        let t2 = run(99);
+        assert_eq!(t1.events(), t2.events());
+        t1.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn program_order_is_preserved_per_thread() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(4, |ctx| {
+            for i in 0..20 {
+                ctx.store_u64(MemAddr::volatile(ctx.thread_id().as_u64() * 64), i);
+            }
+        });
+        let mut last_po: HashMap<ThreadId, u32> = HashMap::new();
+        for e in trace.events() {
+            if let Some(&prev) = last_po.get(&e.thread) {
+                assert!(e.po > prev, "program order violated in visibility order");
+            }
+            last_po.insert(e.thread, e.po);
+        }
+    }
+
+    #[test]
+    fn palloc_records_events() {
+        let mem = TracedMem::new(FreeRunScheduler);
+        let trace = mem.run(1, |ctx| {
+            let p = ctx.palloc(64, 8).unwrap();
+            ctx.pfree(p).unwrap();
+            assert!(ctx.palloc(0, 8).is_err());
+        });
+        assert!(matches!(trace.events()[0].op, Op::PAlloc { .. }));
+        assert!(matches!(trace.events()[1].op, Op::PFree { .. }));
+    }
+}

@@ -1,0 +1,188 @@
+//! Interleaving control for trace capture.
+
+use crate::ThreadId;
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Decides when each simulated thread may perform its next traced
+/// operation.
+///
+/// Implementations must call `f` exactly once per [`Scheduler::with_turn`]
+/// call; the traced operation (including its sequence stamp) happens inside
+/// `f`, so holding the turn across `f` makes the interleaving exactly the
+/// grant order.
+pub trait Scheduler: Send + Sync {
+    /// Announces that `tid` will issue operations. For deterministic
+    /// schedules, all threads must be registered before any takes a turn
+    /// (the capture executor registers every thread before spawning any).
+    fn register(&self, tid: ThreadId);
+    /// Announces that `tid` will issue no further operations. Deterministic
+    /// schedulers treat this as a scheduled event: it waits for `tid`'s
+    /// turn, so the runnable set only changes at deterministic points.
+    fn unregister(&self, tid: ThreadId);
+    /// Runs one traced operation for `tid` when the schedule permits.
+    fn with_turn(&self, tid: ThreadId, f: &mut dyn FnMut());
+}
+
+/// No scheduling: real threads race and the shard locks plus the global
+/// sequence counter record whatever interleaving the machine produced —
+/// the same discipline as the paper's PIN runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreeRunScheduler;
+
+impl Scheduler for FreeRunScheduler {
+    fn register(&self, _tid: ThreadId) {}
+    fn unregister(&self, _tid: ThreadId) {}
+    #[inline]
+    fn with_turn(&self, _tid: ThreadId, f: &mut dyn FnMut()) {
+        f();
+    }
+}
+
+struct SeededState {
+    runnable: BTreeSet<u32>,
+    granted: Option<u32>,
+    rng: SmallRng,
+}
+
+impl SeededState {
+    fn pick_next(&mut self) {
+        self.granted = if self.runnable.is_empty() {
+            None
+        } else {
+            let n = self.rng.gen_range(0..self.runnable.len());
+            self.runnable.iter().nth(n).copied()
+        };
+    }
+}
+
+/// Deterministic seeded interleaving: exactly one thread holds the turn at
+/// a time, and the next holder is drawn from a seeded RNG over the
+/// currently runnable threads.
+///
+/// Given the same seed and per-thread-deterministic workloads, the captured
+/// trace is identical across runs — the property the test suite and the
+/// figure harnesses rely on.
+pub struct SeededScheduler {
+    state: Mutex<SeededState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for SeededScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeededScheduler").finish_non_exhaustive()
+    }
+}
+
+impl SeededScheduler {
+    /// Creates a scheduler with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SeededScheduler {
+            state: Mutex::new(SeededState {
+                runnable: BTreeSet::new(),
+                granted: None,
+                rng: SmallRng::seed_from_u64(seed),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl Scheduler for SeededScheduler {
+    fn register(&self, tid: ThreadId) {
+        let mut s = self.state.lock();
+        s.runnable.insert(tid.0);
+        if s.granted.is_none() {
+            s.pick_next();
+        }
+        self.cv.notify_all();
+    }
+
+    fn unregister(&self, tid: ThreadId) {
+        let mut s = self.state.lock();
+        // Leaving is itself a scheduled event: wait for this thread's turn
+        // so the runnable set shrinks at a deterministic point.
+        while s.granted != Some(tid.0) {
+            self.cv.wait(&mut s);
+        }
+        s.runnable.remove(&tid.0);
+        s.pick_next();
+        self.cv.notify_all();
+    }
+
+    fn with_turn(&self, tid: ThreadId, f: &mut dyn FnMut()) {
+        let mut s = self.state.lock();
+        while s.granted != Some(tid.0) {
+            self.cv.wait(&mut s);
+        }
+        // Perform the operation while holding the turn (but not the state
+        // lock is held too — the op is cheap and this keeps the grant order
+        // identical to the operation order).
+        f();
+        s.pick_next();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use std::sync::Arc;
+
+    fn interleaving(seed: u64) -> Vec<u32> {
+        let sched = Arc::new(SeededScheduler::new(seed));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Register everyone before any thread runs (the executor does the
+        // same) so the runnable set at the first grant is deterministic.
+        for t in 0..4u32 {
+            sched.register(ThreadId(t));
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let sched = Arc::clone(&sched);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let tid = ThreadId(t);
+                    for _ in 0..16 {
+                        sched.with_turn(tid, &mut || order.lock().push(t));
+                    }
+                    sched.unregister(tid);
+                });
+            }
+        });
+        Arc::try_unwrap(order).unwrap().into_inner()
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let a = interleaving(42);
+        let b = interleaving(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // With 64 slots over 4 threads, two seeds agreeing everywhere is
+        // astronomically unlikely.
+        assert_ne!(interleaving(1), interleaving(2));
+    }
+
+    #[test]
+    fn all_threads_progress() {
+        let order = interleaving(7);
+        for t in 0..4u32 {
+            assert_eq!(order.iter().filter(|&&x| x == t).count(), 16);
+        }
+    }
+
+    #[test]
+    fn free_run_executes_inline() {
+        let mut hit = false;
+        FreeRunScheduler.with_turn(ThreadId(0), &mut || hit = true);
+        assert!(hit);
+    }
+}

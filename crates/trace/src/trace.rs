@@ -1,0 +1,264 @@
+//! The merged, totally ordered trace and its validation.
+
+use crate::{Event, Op, ThreadId};
+use core::fmt;
+use persist_mem::{MemAddr, MemoryImage};
+
+/// A totally ordered memory trace.
+///
+/// Events are in *visibility order*: the single interleaving all processors
+/// (and the paper's recovery observer) agree on under sequential
+/// consistency. Persistency analyses consume traces in this order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    nthreads: u32,
+    events: Vec<Event>,
+}
+
+/// A sequential-consistency violation found by [`Trace::validate_sc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScViolation {
+    /// A thread's events appear out of program order in visibility order.
+    ProgramOrder {
+        /// The offending thread.
+        thread: ThreadId,
+        /// Index in the trace where the violation was detected.
+        index: usize,
+    },
+    /// A load (or RMW old value) does not match the value produced by the
+    /// writes preceding it in visibility order.
+    ValueMismatch {
+        /// Index in the trace of the mismatching read.
+        index: usize,
+        /// Value the preceding writes produced.
+        expected: u64,
+        /// Value the event recorded.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ScViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScViolation::ProgramOrder { thread, index } => {
+                write!(f, "event {index} of {thread} appears out of program order")
+            }
+            ScViolation::ValueMismatch { index, expected, got } => {
+                write!(f, "read at event {index} observed {got:#x}, expected {expected:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScViolation {}
+
+impl Trace {
+    /// Builds a trace from events already in visibility order.
+    pub fn from_events(nthreads: u32, events: Vec<Event>) -> Self {
+        Trace { nthreads, events }
+    }
+
+    /// The events in visibility order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of threads that produced the trace.
+    #[inline]
+    pub fn thread_count(&self) -> u32 {
+        self.nthreads
+    }
+
+    /// Number of persists (writes to the persistent space).
+    pub fn persist_count(&self) -> usize {
+        self.events.iter().filter(|e| e.op.is_persist()).count()
+    }
+
+    /// Number of completed work items (`WorkEnd` markers).
+    pub fn work_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.op, Op::WorkEnd { .. })).count()
+    }
+
+    /// Checks that the trace is a legal sequentially consistent execution:
+    /// per-thread program order is respected and every read returns the
+    /// value of the most recent preceding write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScViolation`] found.
+    pub fn validate_sc(&self) -> Result<(), ScViolation> {
+        let mut last_po: Vec<Option<u32>> = vec![None; self.nthreads as usize];
+        let mut image = MemoryImage::new();
+        for (index, e) in self.events.iter().enumerate() {
+            let slot = last_po
+                .get_mut(e.thread.index())
+                .unwrap_or_else(|| panic!("thread id {} out of range", e.thread));
+            if let Some(prev) = *slot {
+                if e.po <= prev {
+                    return Err(ScViolation::ProgramOrder { thread: e.thread, index });
+                }
+            }
+            *slot = Some(e.po);
+
+            match e.op {
+                Op::Load { addr, len, value } => {
+                    let expected = read_n(&image, addr, len);
+                    if expected != value {
+                        return Err(ScViolation::ValueMismatch { index, expected, got: value });
+                    }
+                }
+                Op::Store { addr, len, value } => write_n(&mut image, addr, len, value),
+                Op::Rmw { addr, len, old, new } => {
+                    let expected = read_n(&image, addr, len);
+                    if expected != old {
+                        return Err(ScViolation::ValueMismatch { index, expected, got: old });
+                    }
+                    write_n(&mut image, addr, len, new);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays every write in visibility order and returns the resulting
+    /// memory image (both spaces).
+    pub fn final_image(&self) -> MemoryImage {
+        let mut image = MemoryImage::new();
+        for e in &self.events {
+            match e.op {
+                Op::Store { addr, len, value } | Op::Rmw { addr, len, new: value, .. } => {
+                    write_n(&mut image, addr, len, value)
+                }
+                _ => {}
+            }
+        }
+        image
+    }
+
+    /// Iterates over the indices of persist events (writes to persistent
+    /// space), in visibility order.
+    pub fn persist_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.op.is_persist())
+            .map(|(i, _)| i)
+    }
+}
+
+/// Reads `len` bytes little-endian from an image.
+pub(crate) fn read_n(image: &MemoryImage, addr: MemAddr, len: u8) -> u64 {
+    let mut buf = [0u8; 8];
+    image
+        .read(addr, &mut buf[..len as usize])
+        .expect("image read cannot fail within 63-bit space");
+    u64::from_le_bytes(buf)
+}
+
+/// Writes the low `len` bytes of `value` little-endian to an image.
+pub(crate) fn write_n(image: &mut MemoryImage, addr: MemAddr, len: u8, value: u64) {
+    image
+        .write(addr, &value.to_le_bytes()[..len as usize])
+        .expect("trace replay write out of bounds — trace addresses exceed image cap");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u32, po: u32, op: Op) -> Event {
+        Event { thread: ThreadId(thread), po, op }
+    }
+
+    #[test]
+    fn validates_simple_trace() {
+        let a = MemAddr::persistent(8);
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, Op::Store { addr: a, len: 8, value: 3 }),
+                ev(0, 1, Op::Load { addr: a, len: 8, value: 3 }),
+            ],
+        );
+        t.validate_sc().unwrap();
+        assert_eq!(t.persist_count(), 1);
+    }
+
+    #[test]
+    fn detects_stale_read() {
+        let a = MemAddr::persistent(8);
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, Op::Store { addr: a, len: 8, value: 3 }),
+                ev(0, 1, Op::Load { addr: a, len: 8, value: 0 }),
+            ],
+        );
+        assert!(matches!(t.validate_sc(), Err(ScViolation::ValueMismatch { index: 1, .. })));
+    }
+
+    #[test]
+    fn detects_program_order_violation() {
+        let a = MemAddr::volatile(8);
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 1, Op::Store { addr: a, len: 8, value: 1 }),
+                ev(0, 0, Op::Store { addr: a, len: 8, value: 2 }),
+            ],
+        );
+        assert!(matches!(t.validate_sc(), Err(ScViolation::ProgramOrder { index: 1, .. })));
+    }
+
+    #[test]
+    fn detects_overlapping_partial_write_effects() {
+        let a = MemAddr::volatile(8);
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, Op::Store { addr: a, len: 8, value: u64::MAX }),
+                ev(0, 1, Op::Store { addr: a.add(2), len: 1, value: 0 }),
+                ev(0, 2, Op::Load { addr: a, len: 8, value: 0xFFFF_FFFF_FF00_FFFF }),
+            ],
+        );
+        t.validate_sc().unwrap();
+    }
+
+    #[test]
+    fn final_image_applies_rmw() {
+        let a = MemAddr::volatile(0);
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, Op::Store { addr: a, len: 8, value: 1 }),
+                ev(0, 1, Op::Rmw { addr: a, len: 8, old: 1, new: 42 }),
+            ],
+        );
+        assert_eq!(t.final_image().read_u64(a).unwrap(), 42);
+    }
+
+    #[test]
+    fn persist_indices_skips_volatile() {
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, Op::Store { addr: MemAddr::volatile(0), len: 8, value: 1 }),
+                ev(0, 1, Op::Store { addr: MemAddr::persistent(0), len: 8, value: 1 }),
+                ev(0, 2, Op::PersistBarrier),
+                ev(0, 3, Op::Store { addr: MemAddr::persistent(8), len: 8, value: 1 }),
+            ],
+        );
+        assert_eq!(t.persist_indices().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn display_of_violations() {
+        let v1 = ScViolation::ProgramOrder { thread: ThreadId(2), index: 9 };
+        let v2 = ScViolation::ValueMismatch { index: 3, expected: 1, got: 2 };
+        assert!(v1.to_string().contains("t2"));
+        assert!(v2.to_string().contains("0x2"));
+    }
+}

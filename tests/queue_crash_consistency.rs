@@ -1,0 +1,168 @@
+//! Integration: crash consistency of the Algorithm 1 queues under every
+//! persistency model — the recovery-correctness claims of §6, verified
+//! through the recovery observer.
+
+use mem_trace::{FreeRunScheduler, SeededScheduler, TracedMem};
+use persistency::crash::{check, Exploration};
+use persistency::dag::PersistDag;
+use persistency::{AnalysisConfig, Model};
+use pqueue::recovery::crash_invariant;
+use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueParams};
+
+fn assert_consistent(
+    trace: &mem_trace::Trace,
+    layout: pqueue::traced::QueueLayout,
+    model: Model,
+    label: &str,
+) {
+    let dag = PersistDag::build(trace, &AnalysisConfig::new(model)).expect("small trace");
+    let report = check(
+        &dag,
+        Exploration::Sampled { seed: 0xC0FFEE, extensions: 150 },
+        crash_invariant(layout),
+    )
+    .expect("sampled exploration");
+    assert!(report.is_consistent(), "{label} under {model}: {report}");
+    assert!(report.states_checked > dag.len(), "{label}: sampling explored too little");
+}
+
+#[test]
+fn cwl_full_barriers_consistent_under_all_models() {
+    let params = QueueParams::new(16);
+    let (trace, layout) =
+        run_cwl_workload(TracedMem::new(FreeRunScheduler), params, BarrierMode::Full, 2, 4);
+    for model in Model::ALL {
+        assert_consistent(&trace, layout, model, "CWL full");
+    }
+}
+
+#[test]
+fn cwl_racing_consistent_under_epoch_and_strand() {
+    // Racing epochs intentionally race across the lock; strong persist
+    // atomicity still orders the head persists (§6).
+    let params = QueueParams::new(16);
+    let (trace, layout) =
+        run_cwl_workload(TracedMem::new(SeededScheduler::new(5)), params, BarrierMode::Racing, 3, 3);
+    for model in [Model::Strict, Model::Epoch, Model::Strand] {
+        assert_consistent(&trace, layout, model, "CWL racing");
+    }
+}
+
+#[test]
+fn two_lock_consistent_under_all_models() {
+    let params = QueueParams::new(32);
+    for seed in [1u64, 9] {
+        let (trace, layout) =
+            run_2lc_workload(TracedMem::new(SeededScheduler::new(seed)), params, 3, 4);
+        for model in Model::ALL {
+            assert_consistent(&trace, layout, model, "2LC");
+        }
+    }
+}
+
+#[test]
+fn cwl_with_wrap_survives_crashes_under_epoch() {
+    // Circular-buffer reuse: capacity 4, a dozen inserts. With full
+    // barriers the in-flight copy is ordered after the previous head
+    // persist, so the one-entry recovery margin is sound under strict and
+    // epoch persistency.
+    let params = QueueParams::new(4);
+    let (trace, layout) =
+        run_cwl_workload(TracedMem::new(FreeRunScheduler), params, BarrierMode::Full, 1, 12);
+    for model in [Model::Strict, Model::Epoch] {
+        assert_consistent(&trace, layout, model, "CWL wrap");
+    }
+}
+
+#[test]
+fn strand_wrap_overwrite_window_is_unbounded() {
+    // Under strand persistency each insert's data copy is ordered only by
+    // strong persist atomicity with the slot's previous lap — NOT after
+    // any head persist. Once the buffer wraps, copies arbitrarily far
+    // ahead of the persisted head may clobber live window entries, so no
+    // fixed recovery margin is sound: the checker must find corruption.
+    let params = QueueParams::new(4);
+    let (trace, layout) =
+        run_cwl_workload(TracedMem::new(FreeRunScheduler), params, BarrierMode::Full, 1, 12);
+    let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Strand)).unwrap();
+    let report = check(
+        &dag,
+        Exploration::Sampled { seed: 8, extensions: 300 },
+        crash_invariant(layout),
+    )
+    .unwrap();
+    assert!(
+        !report.is_consistent(),
+        "strand + wrap must expose overwritten window entries"
+    );
+}
+
+#[test]
+fn missing_data_head_barrier_is_caught() {
+    // Remove the line-8 barrier (data before head): epoch and strand must
+    // expose a corrupting recovery state; strict must not (program order
+    // still protects it).
+    use pqueue::entry::EntryCodec;
+    use pqueue::traced::QueueLayout;
+    use pqueue::PAYLOAD_BYTES;
+
+    let mem = TracedMem::new(FreeRunScheduler);
+    let layout = QueueLayout::allocate(&mem, QueueParams::new(8));
+    let trace = mem.run(1, |ctx| {
+        let cap = layout.params.capacity_bytes();
+        for _ in 0..3 {
+            let h = ctx.load_u64(layout.head);
+            let pos = h % cap;
+            let payload = EntryCodec::encode(pos, h / cap);
+            let dst = layout.data.add(pos);
+            ctx.store_u64(dst, PAYLOAD_BYTES as u64);
+            ctx.copy_bytes(dst.add(8), &payload);
+            // BUG: missing persist barrier (Algorithm 1 line 8).
+            ctx.store_u64(layout.head, h + QueueParams::SLOT_BYTES);
+            ctx.persist_barrier();
+        }
+    });
+    for model in [Model::Epoch, Model::Strand] {
+        let dag = PersistDag::build(&trace, &AnalysisConfig::new(model)).unwrap();
+        let report = check(
+            &dag,
+            Exploration::Sampled { seed: 2, extensions: 200 },
+            crash_invariant(layout),
+        )
+        .unwrap();
+        assert!(!report.is_consistent(), "missing barrier must corrupt under {model}");
+    }
+    let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Strict)).unwrap();
+    let report = check(
+        &dag,
+        Exploration::Sampled { seed: 2, extensions: 200 },
+        crash_invariant(layout),
+    )
+    .unwrap();
+    assert!(report.is_consistent(), "strict persistency orders by program order");
+}
+
+#[test]
+fn recovered_prefix_is_monotone_over_cuts() {
+    // Along any linear extension, later cuts never recover fewer entries:
+    // the head pointer only grows and stays covered by persisted data.
+    use persistency::observer::RecoveryObserver;
+    let params = QueueParams::new(16);
+    let (trace, layout) =
+        run_cwl_workload(TracedMem::new(FreeRunScheduler), params, BarrierMode::Full, 2, 3);
+    let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Epoch)).unwrap();
+    let obs = RecoveryObserver::new(&dag);
+    let cuts = obs.sample_cuts(4, 50);
+    let mut by_size: Vec<(usize, u64)> = cuts
+        .iter()
+        .map(|c| {
+            let img = obs.recover(c);
+            let q = pqueue::recovery::recover(&img, &layout).expect("consistent");
+            (c.len(), q.head_bytes)
+        })
+        .collect();
+    by_size.sort_unstable();
+    // Head bytes across all sampled cuts stay within the run's range.
+    let max_head = by_size.iter().map(|&(_, h)| h).max().unwrap();
+    assert_eq!(max_head, 6 * QueueParams::SLOT_BYTES);
+}
