@@ -6,7 +6,10 @@
 //! persists per TSO rather than SC. This ablation builds the race, shows
 //! the critical-path difference, and uses the recovery observer to exhibit
 //! a persistent state the SC-conflict epoch model forbids but BPFS admits.
+//!
+//! Usage: `ablation_bpfs [--serial]`
 
+use bench::{SelfTimer, SweepRunner};
 use mem_trace::TraceBuilder;
 use persist_mem::MemAddr;
 use persistency::observer::RecoveryObserver;
@@ -28,13 +31,10 @@ fn main() {
     let trace = tb.build();
     trace.validate_sc().expect("the race is a legal SC execution");
 
-    println!("BPFS ablation (§5.2): load-before-store race");
-    println!();
-    println!("  t0: persist A; persist barrier; load X (observes 0, i.e. before t1)");
-    println!("  t1: persist X");
-    println!();
-
-    for model in [Model::Epoch, Model::Bpfs] {
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("ablation_bpfs", &runner);
+    let models = [Model::Epoch, Model::Bpfs];
+    let lines = runner.run(&models, |_, &model| {
         let cfg = AnalysisConfig::new(model);
         let cp = timing::analyze(&trace, &cfg).critical_path;
         let dag = PersistDag::build(&trace, &cfg).expect("two persists");
@@ -44,16 +44,31 @@ fn main() {
             let img = obs.recover(c);
             img.read_u64(x).unwrap_or(0) == 7 && img.read_u64(a).unwrap_or(0) != 1
         });
-        println!(
-            "  {:<6}  critical path {}  recovery states {}  X-without-A observable: {}",
-            model.to_string(),
-            cp,
-            cuts.len(),
-            admits_x_without_a
-        );
+        (
+            format!(
+                "  {:<6}  critical path {}  recovery states {}  X-without-A observable: {}",
+                model.to_string(),
+                cp,
+                cuts.len(),
+                admits_x_without_a
+            ),
+            2 * trace.events().len() as u64,
+        )
+    });
+
+    println!("BPFS ablation (§5.2): load-before-store race");
+    println!();
+    println!("  t0: persist A; persist barrier; load X (observes 0, i.e. before t1)");
+    println!("  t1: persist X");
+    println!();
+    let mut events = 0;
+    for (line, ev) in lines {
+        println!("{line}");
+        events += ev;
     }
     println!();
     println!("epoch (SC conflicts) orders X after A: the recovery observer can never see");
     println!("X's persist without A's. BPFS misses the race, so a failure may expose X");
     println!("without A — the ordering difference the paper's §5.2 identifies.");
+    timer.finish(events);
 }

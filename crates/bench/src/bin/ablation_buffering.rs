@@ -9,13 +9,14 @@
 //! durability-on-return regime — showing what buffered strict persistency
 //! pays for its write-visibility guarantee.
 //!
-//! Usage: `ablation_buffering [--inserts N]`
+//! Usage: `ablation_buffering [--inserts N] [--serial]`
 
 use bench::fmt::{num, rate, table};
+use bench::{SelfTimer, SweepRunner};
 use mem_trace::{FreeRunScheduler, TracedMem};
 use persistency::buffer::{simulate, BufferConfig};
 use persistency::{AnalysisConfig, Model};
-use pqueue::traced::{CwlQueue, BarrierMode, QueueLayout, QueueParams};
+use pqueue::traced::{BarrierMode, CwlQueue, QueueLayout, QueueParams};
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -49,28 +50,38 @@ fn main() {
     let instr_ns = 2.0;
     let persist_ns = 500.0;
 
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("ablation_buffering", &runner);
+
     println!("persist-buffer depth ablation: CWL 1 thread, {inserts} inserts,");
     println!("{instr_ns} ns/event volatile execution, {persist_ns} ns persists");
     println!();
 
-    let depths: [Option<usize>; 7] =
-        [Some(1), Some(2), Some(4), Some(8), Some(16), Some(64), None];
-    for (title, sync_each) in
-        [("asynchronous durability (no sync)", false), ("persist_sync after every insert", true)]
-    {
-        let trace = cwl_trace(inserts, sync_each);
+    // Capture the two trace variants once (shared by every table cell).
+    let variants = [false, true];
+    let traces = runner.run(&variants, |_, &sync_each| cwl_trace(inserts, sync_each));
+
+    let depths: [Option<usize>; 7] = [Some(1), Some(2), Some(4), Some(8), Some(16), Some(64), None];
+    let models = [Model::Strict, Model::Epoch, Model::Strand];
+    let mut events = 0u64;
+    for (title, trace) in [
+        ("asynchronous durability (no sync)", &traces[0]),
+        ("persist_sync after every insert", &traces[1]),
+    ] {
         println!("{title}:");
-        let mut rows = Vec::new();
-        for model in [Model::Strict, Model::Epoch, Model::Strand] {
+        // Each (model, depth) simulation is independent: one row per model,
+        // fanned across the pool.
+        let rows = runner.run(&models, |_, &model| {
             let cfg = AnalysisConfig::new(model);
             let mut row = vec![model.to_string()];
             for cap in depths {
                 let bc = BufferConfig::new(instr_ns, persist_ns, cap);
-                let r = simulate(&trace, &cfg, &bc).expect("single-threaded");
+                let r = simulate(trace, &cfg, &bc).expect("single-threaded");
                 row.push(rate(r.rate(inserts)));
             }
-            rows.push(row);
-        }
+            row
+        });
+        events += models.len() as u64 * depths.len() as u64 * trace.events().len() as u64;
         let header: Vec<String> = std::iter::once("model".to_string())
             .chain(depths.iter().map(|d| match d {
                 Some(n) => format!("{n} slots"),
@@ -83,18 +94,22 @@ fn main() {
     }
 
     // Stall breakdown at a representative depth.
-    let trace = cwl_trace(inserts, false);
+    let trace = &traces[0];
     println!("stall anatomy at 8 slots:");
-    for model in [Model::Strict, Model::Epoch, Model::Strand] {
+    let lines = runner.run(&models, |_, &model| {
         let cfg = AnalysisConfig::new(model);
-        let r = simulate(&trace, &cfg, &BufferConfig::new(instr_ns, persist_ns, Some(8))).unwrap();
-        println!(
+        let r = simulate(trace, &cfg, &BufferConfig::new(instr_ns, persist_ns, Some(8))).unwrap();
+        format!(
             "  {:<7} exec {:>9} us  stalled {:>5}%  peak occupancy {:>3}",
             model.to_string(),
             num(r.exec_ns / 1000.0),
             num(100.0 * r.stall_fraction()),
             r.peak_occupancy
-        );
+        )
+    });
+    events += models.len() as u64 * trace.events().len() as u64;
+    for line in lines {
+        println!("{line}");
     }
     println!();
     println!("shape (§3): relaxed models exploit buffer slots — their concurrent");
@@ -102,4 +117,5 @@ fn main() {
     println!("strict persistency's serialized persists gain nothing from depth. the");
     println!("per-insert persist_sync forfeits buffering for an immediate durability");
     println!("guarantee, collapsing every model toward its critical-path-bound rate.");
+    timer.finish(events);
 }

@@ -7,10 +7,11 @@
 //! banks shrink: relaxed models' abundant concurrency is exactly what
 //! makes them sensitive to device parallelism.
 //!
-//! Usage: `ablation_nvram [--inserts N] [--latency NS]`
+//! Usage: `ablation_nvram [--inserts N] [--latency NS] [--serial]`
 
 use bench::fmt::{num, table};
 use bench::workloads::{cwl_trace, StdWorkload};
+use bench::{SelfTimer, SweepRunner};
 use nvram::{replay, DeviceConfig};
 use persistency::dag::PersistDag;
 use persistency::{AnalysisConfig, Model};
@@ -31,31 +32,35 @@ fn main() {
     let w = StdWorkload::figure(1, inserts);
     let (trace, _) = cwl_trace(&w, BarrierMode::Full);
 
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("ablation_nvram", &runner);
+
     println!("NVRAM device ablation: CWL 1 thread, {inserts} inserts, {latency} ns writes");
     println!("(makespan in µs; 'ideal' = critical path x latency, the paper's bound)");
     println!();
 
+    // Build the three model DAGs in parallel; every sweep below replays
+    // them without re-analyzing the trace.
+    let models = [Model::Strict, Model::Epoch, Model::Strand];
+    let dags: Vec<(Model, PersistDag)> = runner.run(&models, |_, &m| {
+        let dag =
+            PersistDag::build(&trace, &AnalysisConfig::new(m)).expect("ablation runs are small");
+        (m, dag)
+    });
+    let mut events = models.len() as u64 * trace.events().len() as u64;
+
     // Sweep 1: bank count at word-granularity interleave — the makespan
     // converges to the paper's critical-path bound as banks grow.
     let banks = [1usize, 2, 4, 8, 16, 64, 4096];
-    let mut rows = Vec::new();
-    let dags: Vec<(Model, PersistDag)> = [Model::Strict, Model::Epoch, Model::Strand]
-        .into_iter()
-        .map(|m| {
-            let dag = PersistDag::build(&trace, &AnalysisConfig::new(m))
-                .expect("ablation runs are small");
-            (m, dag)
-        })
-        .collect();
-    for (model, dag) in &dags {
-        let mut row =
-            vec![model.to_string(), num(dag.critical_path() as f64 * latency / 1000.0)];
+    let rows = runner.run(&dags, |_, (model, dag)| {
+        let mut row = vec![model.to_string(), num(dag.critical_path() as f64 * latency / 1000.0)];
         for &b in &banks {
             let r = replay(dag, &DeviceConfig::new(b, latency).with_interleave(8));
             row.push(num(r.makespan_ns / 1000.0));
         }
-        rows.push(row);
-    }
+        row
+    });
+    events += (banks.len() * dags.len()) as u64;
     let header: Vec<String> = ["model".to_string(), "ideal".to_string()]
         .into_iter()
         .chain(banks.iter().map(|b| format!("{b} banks")))
@@ -69,15 +74,15 @@ fn main() {
     // interleaving maps one entry's word persists to one bank, which
     // serializes exactly the concurrency relaxed persistency exposed.
     let interleaves = [8u64, 64, 256, 1024];
-    let mut rows = Vec::new();
-    for (model, dag) in &dags {
+    let rows = runner.run(&dags, |_, (model, dag)| {
         let mut row = vec![model.to_string()];
         for &il in &interleaves {
             let r = replay(dag, &DeviceConfig::new(4096, latency).with_interleave(il));
             row.push(num(r.makespan_ns / 1000.0));
         }
-        rows.push(row);
-    }
+        row
+    });
+    events += (interleaves.len() * dags.len()) as u64;
     let header: Vec<String> = std::iter::once("model".to_string())
         .chain(interleaves.iter().map(|i| format!("{i}B interleave")))
         .collect();
@@ -85,15 +90,16 @@ fn main() {
     println!("interleave sweep (4096 banks):");
     print!("{}", table(&header_refs, &rows));
     println!();
+
     // Wear accounting (§2.1/§3): coalescing reduces device writes. The
     // exact (DAG) engine only merges provably ordered persists; the
     // paper's timestamp methodology (timing engine) coalesces more — both
     // are reported.
     println!("wear (8-byte wear blocks):");
-    for (model, dag) in &dags {
+    let lines = runner.run(&dags, |_, (model, dag)| {
         let w = nvram::wear::analyze(dag, persist_mem::AtomicPersistSize::default());
         let timed = persistency::timing::analyze(&trace, &AnalysisConfig::new(*model));
-        println!(
+        format!(
             "  {:<7} {:>6} device writes of {:>6} raw (exact engine; timestamp \
              methodology coalesces {} -> {} writes), hotspot x{}",
             model.to_string(),
@@ -102,7 +108,11 @@ fn main() {
             timed.stats.coalesced,
             timed.persist_nodes,
             num(w.hotspot_factor()),
-        );
+        )
+    });
+    events += models.len() as u64 * trace.events().len() as u64;
+    for line in lines {
+        println!("{line}");
     }
     println!();
     println!("with few banks (or coarse interleave) device conflicts — the paper's 'at");
@@ -110,4 +120,5 @@ fn main() {
     println!("the makespan converges to the critical-path bound, validating the paper's");
     println!("implementation-independent methodology. relaxed models are the most");
     println!("sensitive: their exposed concurrency is what the device must supply.");
+    timer.finish(events);
 }

@@ -6,10 +6,14 @@
 //! persist-atomicity-required order form a cycle: the intended persist
 //! order cannot be enforced. Resolutions (§4.3): couple persist barriers
 //! with store barriers, or relax strong persist atomicity.
+//!
+//! Usage: `fig1_cycle [--serial]`
 
+use bench::{SelfTimer, SweepRunner};
 use mem_trace::TraceBuilder;
 use persist_mem::{MemAddr, TrackingGranularity};
 use persistency::cycle::{EdgeKind, IntendedOrder};
+use std::fmt::Write;
 
 fn build(reordered: bool) -> mem_trace::Trace {
     let a = MemAddr::persistent(0);
@@ -24,8 +28,9 @@ fn build(reordered: bool) -> mem_trace::Trace {
     tb.build()
 }
 
-fn report(title: &str, trace: &mem_trace::Trace) {
-    println!("{title}");
+fn report(title: &str, trace: &mem_trace::Trace) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
     let order = IntendedOrder::build(trace, TrackingGranularity::default());
     for e in &order.edges {
         let kind = match e.kind {
@@ -34,29 +39,42 @@ fn report(title: &str, trace: &mem_trace::Trace) {
         };
         let f = &trace.events()[e.from];
         let t = &trace.events()[e.to];
-        println!("  {f}  -->  {t}   [{kind}]");
+        writeln!(out, "  {f}  -->  {t}   [{kind}]").unwrap();
     }
     match order.find_cycle() {
         Some(cycle) => {
-            println!("  CYCLE: intended persist order is unenforceable through:");
+            writeln!(out, "  CYCLE: intended persist order is unenforceable through:").unwrap();
             for idx in &cycle {
-                println!("    {}", trace.events()[*idx]);
+                writeln!(out, "    {}", trace.events()[*idx]).unwrap();
             }
         }
-        None => println!("  acyclic: the intended persist order is enforceable"),
+        None => writeln!(out, "  acyclic: the intended persist order is enforceable").unwrap(),
     }
-    println!();
+    writeln!(out).unwrap();
+    out
 }
 
 fn main() {
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("fig1_cycle", &runner);
+    let cases = [
+        ("Thread 1 visibility reordered across its persist barrier (the paper's figure):", true),
+        ("Same program under sequential consistency (no visibility reordering):", false),
+    ];
+    let sections = runner.run(&cases, |_, &(title, reordered)| {
+        let trace = build(reordered);
+        (report(title, &trace), trace.events().len() as u64)
+    });
+
     println!("Figure 1: persist barriers + strong persist atomicity + reordered store");
     println!("visibility cannot coexist (§4.3)");
     println!();
-    report(
-        "Thread 1 visibility reordered across its persist barrier (the paper's figure):",
-        &build(true),
-    );
-    report("Same program under sequential consistency (no visibility reordering):", &build(false));
+    let mut events = 0;
+    for (section, ev) in sections {
+        print!("{section}");
+        events += ev;
+    }
     println!("resolution: couple persist barriers with store barriers, or relax strong");
     println!("persist atomicity with dedicated barriers (§4.3).");
+    timer.finish(events);
 }

@@ -7,14 +7,10 @@
 //! data serialization) disappear under epoch persistency, and the "B"
 //! edges (cross-insert serialization) disappear under strand persistency.
 //!
-//! Usage: `fig2_deps [--inserts N]`
+//! Usage: `fig2_deps [--inserts N] [--serial]` (`SWEEP_THREADS=N` caps
+//! the worker pool).
 
-use bench::deps::{classify_edges, DepClass};
-use bench::fmt::table;
-use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
-use persistency::dag::PersistDag;
-use persistency::{AnalysisConfig, Model};
-use pqueue::traced::BarrierMode;
+use bench::{experiments, SelfTimer, SweepRunner};
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -27,36 +23,9 @@ fn arg(flag: &str, default: u64) -> u64 {
 
 fn main() {
     let inserts = arg("--inserts", 40);
-    println!("Figure 2: queue persist dependences by class (per {} inserts)", inserts);
-    println!();
-
-    for (name, threads) in [("CWL (1 thread)", 1u32), ("CWL (2 threads)", 2), ("2LC (2 threads)", 2)]
-    {
-        let w = StdWorkload::figure(threads, inserts / threads as u64);
-        let (trace, layout) = if name.starts_with("2LC") {
-            tlc_trace(&w)
-        } else {
-            cwl_trace(&w, BarrierMode::Full)
-        };
-        println!("{name}:");
-        let mut rows = Vec::new();
-        for model in [Model::Strict, Model::Epoch, Model::Strand] {
-            let dag = PersistDag::build(&trace, &AnalysisConfig::new(model))
-                .expect("figure-2 runs are small");
-            let counts = classify_edges(&dag, &layout);
-            let mut row = vec![model.to_string()];
-            for class in DepClass::ALL {
-                row.push(counts.get(&class).copied().unwrap_or(0).to_string());
-            }
-            rows.push(row);
-        }
-        let header: Vec<&str> = std::iter::once("model")
-            .chain(DepClass::ALL.iter().map(|c| c.label()))
-            .collect();
-        print!("{}", table(&header, &rows));
-        println!();
-    }
-    println!("paper shape: required constraints (solid arrows in the paper's Figure 2)");
-    println!("survive every model; epoch persistency removes the A edges, strand");
-    println!("persistency also removes the B edges.");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("fig2_deps", &runner);
+    let exp = experiments::fig2_deps(&runner, inserts);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

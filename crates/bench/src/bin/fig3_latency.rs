@@ -7,14 +7,10 @@
 //! break-even latencies the paper quotes (≈17 ns strict, ≈119 ns epoch,
 //! ≈6 µs strand on the authors' Xeon).
 //!
-//! Usage: `fig3_latency [--inserts N] [--points N]`
+//! Usage: `fig3_latency [--inserts N] [--points N] [--serial]`
 
-use bench::fmt::{num, rate, table};
-use bench::workloads::{cwl_trace, StdWorkload};
-use persistency::throughput::{achievable_rate, break_even_latency, PersistLatency};
-use persistency::{timing, AnalysisConfig, Model};
+use bench::{experiments, SelfTimer, SweepRunner};
 use pqueue::native::{measure_insert_rate, QueueKind};
-use pqueue::traced::BarrierMode;
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -29,44 +25,13 @@ fn main() {
     let inserts = arg("--inserts", 2000);
     let points = arg("--points", 17) as usize;
 
-    let w = StdWorkload::figure(1, inserts);
-    let (trace, _) = cwl_trace(&w, BarrierMode::Full);
+    // Native rate measurement times real execution: keep it serial and
+    // before the sweep so workers don't perturb it.
     let instr = measure_insert_rate(QueueKind::Cwl, 1, 150_000);
 
-    let models = [Model::Strict, Model::Epoch, Model::Strand];
-    let cps: Vec<f64> = models
-        .iter()
-        .map(|&m| timing::analyze(&trace, &AnalysisConfig::new(m)).critical_path_per_work())
-        .collect();
-
-    println!("Figure 3: achievable rate vs persist latency (CWL, 1 thread, {} inserts)", inserts);
-    println!("instruction execution rate: {}", rate(instr));
-    println!();
-
-    let sweep =
-        PersistLatency::log_sweep(PersistLatency::from_ns(10.0), PersistLatency::from_ns(1e5), points);
-    let rows: Vec<Vec<String>> = sweep
-        .iter()
-        .map(|&lat| {
-            let mut row = vec![format!("{}", num(lat.ns()))];
-            for &cp in &cps {
-                row.push(rate(achievable_rate(instr, cp, lat)));
-            }
-            row
-        })
-        .collect();
-    print!("{}", table(&["latency(ns)", "strict", "epoch", "strand"], &rows));
-
-    println!();
-    println!("break-even latency (compute-bound -> persist-bound crossover):");
-    for (m, cp) in models.iter().zip(&cps) {
-        match break_even_latency(instr, *cp) {
-            Some(l) => println!("  {:<7} cp/insert {:>8}  break-even {:>10} ns", m, num(*cp), num(l.ns())),
-            None => println!("  {:<7} cp/insert {:>8}  never persist-bound", m, num(*cp)),
-        }
-    }
-    println!();
-    println!("paper shape: strict rolls off at tens of ns, epoch around a hundred ns,");
-    println!("strand only in the microsecond range — relaxed models are resilient to");
-    println!("large persist latency (500 ns NVRAM leaves strand compute-bound).");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("fig3_latency", &runner);
+    let exp = experiments::fig3_latency(&runner, inserts, points, instr);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

@@ -6,13 +6,9 @@
 //! block grows; epoch persistency's are already concurrent, so its curve
 //! stays flat — the two converge at 256 bytes.
 //!
-//! Usage: `fig4_granularity [--inserts N]`
+//! Usage: `fig4_granularity [--inserts N] [--serial]`
 
-use bench::fmt::{num, table};
-use bench::workloads::{cwl_trace, StdWorkload};
-use persist_mem::AtomicPersistSize;
-use persistency::{timing, AnalysisConfig, Model};
-use pqueue::traced::BarrierMode;
+use bench::{experiments, SelfTimer, SweepRunner};
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -25,34 +21,9 @@ fn arg(flag: &str, default: u64) -> u64 {
 
 fn main() {
     let inserts = arg("--inserts", 2000);
-    let w = StdWorkload::figure(1, inserts);
-    let (trace, _) = cwl_trace(&w, BarrierMode::Full);
-
-    println!("Figure 4: persist critical path per insert vs atomic persist size");
-    println!("          (CWL, 1 thread, {} inserts, 8-byte dependence tracking)", inserts);
-    println!();
-
-    let mut rows = Vec::new();
-    for bytes in [8u64, 16, 32, 64, 128, 256] {
-        let atomic = AtomicPersistSize::new(bytes).expect("valid sweep size");
-        let mut row = vec![format!("{bytes}B")];
-        for model in [Model::Strict, Model::Epoch] {
-            let cfg = AnalysisConfig::new(model).with_atomic_persist(atomic);
-            let r = timing::analyze(&trace, &cfg);
-            row.push(num(r.critical_path_per_work()));
-            row.push(format!("{:.0}%", 100.0 * r.coalesce_rate()));
-        }
-        rows.push(row);
-    }
-    print!(
-        "{}",
-        table(
-            &["atomic", "strict cp/ins", "strict coal", "epoch cp/ins", "epoch coal"],
-            &rows
-        )
-    );
-    println!();
-    println!("paper shape: strict falls steadily with persist size and matches epoch at");
-    println!("256 B; epoch is flat — large atomic persists are an alternative to relaxed");
-    println!("persistency for strict models, but offer relaxed models nothing.");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("fig4_granularity", &runner);
+    let exp = experiments::fig4_granularity(&runner, inserts);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

@@ -7,13 +7,9 @@
 //! reserialized through false conflicts — at 256-byte tracking the two
 //! models provide comparable critical paths.
 //!
-//! Usage: `fig5_false_sharing [--inserts N]`
+//! Usage: `fig5_false_sharing [--inserts N] [--serial]`
 
-use bench::fmt::{num, table};
-use bench::workloads::{cwl_trace, StdWorkload};
-use persist_mem::TrackingGranularity;
-use persistency::{timing, AnalysisConfig, Model};
-use pqueue::traced::BarrierMode;
+use bench::{experiments, SelfTimer, SweepRunner};
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -26,27 +22,9 @@ fn arg(flag: &str, default: u64) -> u64 {
 
 fn main() {
     let inserts = arg("--inserts", 2000);
-    let w = StdWorkload::figure(1, inserts);
-    let (trace, _) = cwl_trace(&w, BarrierMode::Full);
-
-    println!("Figure 5: persist critical path per insert vs tracking granularity");
-    println!("          (CWL, 1 thread, {} inserts, 8-byte atomic persists)", inserts);
-    println!();
-
-    let mut rows = Vec::new();
-    for bytes in [8u64, 16, 32, 64, 128, 256] {
-        let tracking = TrackingGranularity::new(bytes).expect("valid sweep size");
-        let mut row = vec![format!("{bytes}B")];
-        for model in [Model::Strict, Model::Epoch] {
-            let cfg = AnalysisConfig::new(model).with_tracking(tracking);
-            let r = timing::analyze(&trace, &cfg);
-            row.push(num(r.critical_path_per_work()));
-        }
-        rows.push(row);
-    }
-    print!("{}", table(&["tracking", "strict cp/ins", "epoch cp/ins"], &rows));
-    println!();
-    println!("paper shape: strict is flat; epoch's critical path grows with tracking");
-    println!("granularity as false sharing reintroduces the constraints relaxation removed,");
-    println!("approaching strict at 256 B.");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("fig5_false_sharing", &runner);
+    let exp = experiments::fig5_false_sharing(&runner, inserts);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

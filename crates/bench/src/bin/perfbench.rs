@@ -1,0 +1,202 @@
+//! Engine and pipeline performance benchmark with machine-readable output.
+//!
+//! Measures, on a canonical seeded queue trace:
+//!
+//! - scalar-level (timing) engine throughput in events/sec, both one-shot
+//!   (fresh scratch per run) and with a reused [`timing::Analyzer`];
+//! - DAG engine throughput in events/sec;
+//! - end-to-end wall clock of a (queue, model, threads) sweep under the
+//!   **serial baseline pipeline** (re-capture the trace for every table
+//!   cell, one-shot analysis — how the experiment binaries originally ran)
+//!   vs the **optimized pipeline** (capture once per (queue, threads)
+//!   group, analyze every model on it with reused scratch, cells fanned
+//!   across the [`SweepRunner`]).
+//!
+//! Writes `BENCH_engine.json` (see README for the field reference) and a
+//! human summary to stdout.
+//!
+//! Usage: `perfbench [--inserts N] [--out PATH] [--serial]`
+
+use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
+use bench::SweepRunner;
+use persistency::dag::PersistDag;
+use persistency::{timing, AnalysisConfig, Model};
+use pqueue::traced::BarrierMode;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn arg(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Best-of-N wall clock of `f`, in seconds.
+fn best_of<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+const GROUPS: [BarrierMode; 2] = [BarrierMode::Full, BarrierMode::Racing];
+const MODELS: [Model; 3] = [Model::Strict, Model::Epoch, Model::Strand];
+const THREADS: [u32; 3] = [1, 2, 4];
+
+/// The seed pipeline: every (group, model, threads) cell re-captures its
+/// trace and runs a one-shot analysis. Returns events analyzed.
+fn sweep_serial_baseline(total_inserts: u64) -> u64 {
+    let mut events = 0u64;
+    for &mode in &GROUPS {
+        for &model in &MODELS {
+            for &t in &THREADS {
+                let w = StdWorkload::figure(t, total_inserts / t as u64);
+                let (trace, _) = cwl_trace(&w, mode);
+                let r = timing::analyze(&trace, &AnalysisConfig::new(model));
+                events += trace.events().len() as u64;
+                std::hint::black_box(r.critical_path);
+            }
+        }
+    }
+    // The 2LC group, same structure.
+    for &model in &MODELS {
+        for &t in &THREADS {
+            let w = StdWorkload::figure(t, total_inserts / t as u64);
+            let (trace, _) = tlc_trace(&w);
+            let r = timing::analyze(&trace, &AnalysisConfig::new(model));
+            events += trace.events().len() as u64;
+            std::hint::black_box(r.critical_path);
+        }
+    }
+    events
+}
+
+/// The optimized pipeline: capture once per (group, threads), analyze all
+/// models on the shared trace with reused scratch, cells run through the
+/// worker pool. Returns events analyzed (identical to the baseline's).
+fn sweep_optimized(runner: &SweepRunner, total_inserts: u64) -> u64 {
+    let cells: Vec<(usize, u32)> =
+        (0..3).flat_map(|g| THREADS.iter().map(move |&t| (g, t))).collect();
+    let per_cell = runner.run(&cells, |_, &(g, t)| {
+        let w = StdWorkload::figure(t, total_inserts / t as u64);
+        let trace = match g {
+            0 => cwl_trace(&w, BarrierMode::Full).0,
+            1 => cwl_trace(&w, BarrierMode::Racing).0,
+            _ => tlc_trace(&w).0,
+        };
+        let mut an = timing::Analyzer::new();
+        for &model in &MODELS {
+            let r = an.analyze(&trace, &AnalysisConfig::new(model));
+            std::hint::black_box(r.critical_path);
+        }
+        MODELS.len() as u64 * trace.events().len() as u64
+    });
+    per_cell.iter().sum()
+}
+
+fn main() {
+    let inserts = arg("--inserts", 2000);
+    let sweep_inserts = arg("--sweep-inserts", 240);
+    let out_path = arg_str("--out", "BENCH_engine.json");
+    let runner = SweepRunner::from_env();
+
+    // --- Engine microbenchmarks on the canonical queue trace. ---
+    let w = StdWorkload::figure(1, inserts);
+    let (trace, _) = cwl_trace(&w, BarrierMode::Full);
+    let scalar_events = trace.events().len() as u64;
+    let cfg = AnalysisConfig::new(Model::Epoch);
+
+    let scalar_oneshot_sec = best_of(10, || {
+        std::hint::black_box(timing::analyze(&trace, &cfg).critical_path)
+    });
+    let mut an = timing::Analyzer::new();
+    let scalar_reused_sec = best_of(10, || {
+        std::hint::black_box(an.analyze(&trace, &cfg).critical_path)
+    });
+
+    // DAG engine: quadratic in persists, so a smaller slice of the same
+    // canonical workload.
+    let wd = StdWorkload::figure(1, (inserts / 8).max(50));
+    let (dag_trace, _) = cwl_trace(&wd, BarrierMode::Full);
+    let dag_events = dag_trace.events().len() as u64;
+    let mut dag_nodes = 0u64;
+    let dag_sec = best_of(5, || {
+        let dag = PersistDag::build(&dag_trace, &cfg).expect("perfbench trace fits the DAG cap");
+        dag_nodes = dag.len() as u64;
+        std::hint::black_box(dag.critical_path())
+    });
+
+    // --- End-to-end sweep pipeline comparison. ---
+    let baseline_events = sweep_serial_baseline(sweep_inserts); // warmup + volume check
+    let optimized_events = sweep_optimized(&runner, sweep_inserts);
+    assert_eq!(
+        baseline_events, optimized_events,
+        "both pipelines must analyze the same event volume"
+    );
+    let baseline_sec = best_of(3, || sweep_serial_baseline(sweep_inserts));
+    let optimized_sec = best_of(3, || sweep_optimized(&runner, sweep_inserts));
+    let speedup = baseline_sec / optimized_sec;
+
+    let scalar_oneshot_eps = scalar_events as f64 / scalar_oneshot_sec;
+    let scalar_reused_eps = scalar_events as f64 / scalar_reused_sec;
+    let dag_eps = dag_events as f64 / dag_sec;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"schema\": \"bench_engine_v1\",").unwrap();
+    writeln!(json, "  \"workers\": {},", runner.workers()).unwrap();
+    writeln!(json, "  \"scalar_engine\": {{").unwrap();
+    writeln!(json, "    \"events\": {scalar_events},").unwrap();
+    writeln!(json, "    \"events_per_sec_oneshot\": {scalar_oneshot_eps:.0},").unwrap();
+    writeln!(json, "    \"events_per_sec_reused\": {scalar_reused_eps:.0}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"dag_engine\": {{").unwrap();
+    writeln!(json, "    \"events\": {dag_events},").unwrap();
+    writeln!(json, "    \"nodes\": {dag_nodes},").unwrap();
+    writeln!(json, "    \"events_per_sec\": {dag_eps:.0}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"sweep\": {{").unwrap();
+    writeln!(json, "    \"cells\": {},", GROUPS.len() * MODELS.len() * THREADS.len() + MODELS.len() * THREADS.len()).unwrap();
+    writeln!(json, "    \"events\": {optimized_events},").unwrap();
+    writeln!(json, "    \"serial_baseline_sec\": {baseline_sec:.4},").unwrap();
+    writeln!(json, "    \"optimized_sec\": {optimized_sec:.4},").unwrap();
+    writeln!(json, "    \"speedup\": {speedup:.2},").unwrap();
+    writeln!(json, "    \"workers\": {}", runner.workers()).unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+
+    println!("engine throughput (canonical CWL trace, {} events):", scalar_events);
+    println!("  scalar one-shot : {scalar_oneshot_eps:>12.0} events/s");
+    println!("  scalar reused   : {scalar_reused_eps:>12.0} events/s");
+    println!("  dag ({dag_nodes} nodes)  : {dag_eps:>12.0} events/s");
+    println!();
+    println!(
+        "sweep pipeline ({} cells, {} events, {} workers):",
+        GROUPS.len() * MODELS.len() * THREADS.len() + MODELS.len() * THREADS.len(),
+        optimized_events,
+        runner.workers()
+    );
+    println!("  serial baseline : {:.3} s  (re-capture per cell, one-shot analysis)", baseline_sec);
+    println!("  optimized       : {:.3} s  (shared captures, reused scratch, worker pool)", optimized_sec);
+    println!("  speedup         : {speedup:.2}x");
+    println!();
+    println!("wrote {out_path}");
+}

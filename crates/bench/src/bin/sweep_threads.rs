@@ -7,12 +7,10 @@
 //! This sweep makes the scaling explicit: critical path per insert for
 //! 1–8 threads, per queue and model.
 //!
-//! Usage: `sweep_threads [--inserts N]`
+//! Usage: `sweep_threads [--inserts N] [--serial]` (`SWEEP_THREADS=N`
+//! caps the worker pool).
 
-use bench::fmt::{num, table};
-use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
-use persistency::{timing, AnalysisConfig, Model};
-use pqueue::traced::BarrierMode;
+use bench::{experiments, SelfTimer, SweepRunner};
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -25,37 +23,9 @@ fn arg(flag: &str, default: u64) -> u64 {
 
 fn main() {
     let total_inserts = arg("--inserts", 960);
-    let threads = [1u32, 2, 4, 8];
-    println!("thread scaling: persist critical path per insert ({total_inserts} total inserts)");
-    println!();
-
-    for (name, racing) in [("CWL (full barriers)", false), ("CWL (racing epochs)", true), ("2LC", false)]
-    {
-        println!("{name}:");
-        let mut rows = Vec::new();
-        for model in [Model::Strict, Model::Epoch, Model::Strand] {
-            let mut row = vec![model.to_string()];
-            for &t in &threads {
-                let w = StdWorkload::figure(t, total_inserts / t as u64);
-                let (trace, _) = if name.starts_with("2LC") {
-                    tlc_trace(&w)
-                } else {
-                    cwl_trace(&w, if racing { BarrierMode::Racing } else { BarrierMode::Full })
-                };
-                let r = timing::analyze(&trace, &AnalysisConfig::new(model));
-                row.push(num(r.critical_path_per_work()));
-            }
-            rows.push(row);
-        }
-        let header: Vec<String> = std::iter::once("model".to_string())
-            .chain(threads.iter().map(|t| format!("{t} thr")))
-            .collect();
-        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-        print!("{}", table(&header_refs, &rows));
-        println!();
-    }
-    println!("shape: CWL's lock serializes persists under strict and (non-racing) epoch");
-    println!("regardless of threads; racing epochs and 2LC convert thread concurrency");
-    println!("into persist concurrency (cp/insert falls ~1/threads); strand needs no");
-    println!("threads at all — the paper's §5/§8 scaling story in one table.");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("sweep_threads", &runner);
+    let exp = experiments::sweep_threads(&runner, total_inserts);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

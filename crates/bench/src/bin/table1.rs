@@ -6,15 +6,12 @@
 //! entries) mean instruction rate limits throughput; values < 1 mean the
 //! configuration is persist-bound.
 //!
-//! Usage: `table1 [--inserts N] [--native-inserts N] [--ext]`
+//! Usage: `table1 [--inserts N] [--native-inserts N] [--ext] [--serial]`
 //! (`--ext` adds the BPFS conflict-detection variant as extension rows).
 
-use bench::fmt::{num, rate, table};
-use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
-use persistency::throughput::{normalized_rate, persist_bound_rate, PersistLatency};
-use persistency::{timing, AnalysisConfig, Model};
+use bench::experiments::{self, NativeRates};
+use bench::{SelfTimer, SweepRunner};
 use pqueue::native::{measure_insert_rate, QueueKind};
-use pqueue::traced::BarrierMode;
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -29,72 +26,28 @@ fn main() {
     let inserts = arg("--inserts", 1500);
     let native_inserts = arg("--native-inserts", 150_000);
     let ext = std::env::args().any(|a| a == "--ext");
-    let latency = PersistLatency::TABLE1;
 
-    println!("Table 1: persist-bound insert rate normalized to instruction execution rate");
-    println!(
-        "         ({} ns persists; traced inserts per config: {}; native calibration inserts: {})",
-        latency.ns(),
-        inserts,
-        native_inserts
-    );
-    println!();
+    // Native rate measurement times real execution: keep it serial and
+    // before the sweep so workers don't perturb it.
+    let native: Vec<NativeRates> = [1u32, 8]
+        .iter()
+        .map(|&threads| {
+            eprintln!("[table1] measuring native rates, {threads} thread(s)...");
+            NativeRates {
+                threads,
+                cwl: measure_insert_rate(QueueKind::Cwl, threads, native_inserts / threads as u64),
+                tlc: measure_insert_rate(
+                    QueueKind::TwoLock,
+                    threads,
+                    native_inserts / threads as u64,
+                ),
+            }
+        })
+        .collect();
 
-    let mut rows = Vec::new();
-    for &threads in &[1u32, 8] {
-        let w = StdWorkload::figure(threads, inserts / threads as u64);
-        eprintln!("[table1] measuring native rates, {threads} thread(s)...");
-        let instr_cwl = measure_insert_rate(QueueKind::Cwl, threads, native_inserts / threads as u64);
-        let instr_tlc =
-            measure_insert_rate(QueueKind::TwoLock, threads, native_inserts / threads as u64);
-
-        eprintln!("[table1] capturing traces, {threads} thread(s)...");
-        let (cwl_full, _) = cwl_trace(&w, BarrierMode::Full);
-        let (cwl_racing, _) = cwl_trace(&w, BarrierMode::Racing);
-        let (tlc, _) = tlc_trace(&w);
-        eprintln!("[table1] analyzing, {threads} thread(s)...");
-
-        let mut configs: Vec<(&str, &mem_trace::Trace, f64, Model, &str)> = vec![
-            ("CWL", &cwl_full, instr_cwl, Model::Strict, "strict"),
-            ("CWL", &cwl_full, instr_cwl, Model::Epoch, "epoch"),
-            ("CWL", &cwl_racing, instr_cwl, Model::Epoch, "racing epochs"),
-            ("CWL", &cwl_full, instr_cwl, Model::Strand, "strand"),
-            ("2LC", &tlc, instr_tlc, Model::Strict, "strict"),
-            ("2LC", &tlc, instr_tlc, Model::Epoch, "epoch"),
-            ("2LC", &tlc, instr_tlc, Model::Epoch, "racing epochs"),
-            ("2LC", &tlc, instr_tlc, Model::Strand, "strand"),
-        ];
-        if ext {
-            configs.push(("CWL", &cwl_full, instr_cwl, Model::Bpfs, "bpfs (ext)"));
-            configs.push(("2LC", &tlc, instr_tlc, Model::Bpfs, "bpfs (ext)"));
-            configs.push(("CWL", &cwl_full, instr_cwl, Model::StrictRmo, "strict@rmo (ext)"));
-            configs.push(("2LC", &tlc, instr_tlc, Model::StrictRmo, "strict@rmo (ext)"));
-        }
-
-        for (queue, trace, instr, model, label) in configs {
-            let report = timing::analyze(trace, &AnalysisConfig::new(model));
-            let cp = report.critical_path_per_work();
-            let norm = normalized_rate(instr, cp, latency);
-            rows.push(vec![
-                queue.to_string(),
-                threads.to_string(),
-                label.to_string(),
-                num(cp),
-                rate(persist_bound_rate(cp, latency)),
-                rate(instr),
-                if norm >= 1.0 { format!("*{}*", num(norm)) } else { num(norm) },
-            ]);
-        }
-    }
-
-    print!(
-        "{}",
-        table(
-            &["queue", "threads", "model", "cp/insert", "persist-bound", "instr-rate", "normalized"],
-            &rows
-        )
-    );
-    println!();
-    println!("normalized >= 1 (starred) = compute-bound: relaxed persistency has fully hidden");
-    println!("NVRAM write latency, matching the paper's bold Table 1 entries.");
+    let runner = SweepRunner::from_env();
+    let timer = SelfTimer::start("table1", &runner);
+    let exp = experiments::table1(&runner, inserts, ext, &native);
+    print!("{}", exp.report);
+    timer.finish(exp.events);
 }

@@ -2,13 +2,18 @@
 //!
 //! Each binary in `src/bin/` reproduces one experiment (see DESIGN.md's
 //! per-experiment index); this library holds the common pieces: standard
-//! workload constructors, the Figure 2 dependence classifier, and plain
-//! text table formatting.
+//! workload constructors, the Figure 2 dependence classifier, plain text
+//! table formatting, the parallel [`sweep::SweepRunner`] the binaries fan
+//! their configuration grids across, and the experiment pipelines
+//! themselves in [`experiments`].
 
 #![warn(missing_docs)]
 
 pub mod deps;
+pub mod experiments;
 pub mod fmt;
+pub mod sweep;
 pub mod workloads;
 
+pub use sweep::{SelfTimer, SweepRunner};
 pub use workloads::{cwl_trace, tlc_trace, StdWorkload};

@@ -1,0 +1,176 @@
+//! Parallel sweep execution for the experiment binaries.
+//!
+//! Every figure/table binary evaluates a grid of independent
+//! (queue, model, latency, threads, granularity) configurations. The
+//! [`SweepRunner`] fans those cells out across a std-thread worker pool
+//! while keeping result order deterministic: `run` always returns results
+//! in input order, whatever interleaving the workers produce, so report
+//! output is byte-identical between serial and parallel execution.
+//!
+//! Workers claim cells from a shared atomic counter (work stealing by
+//! index), which keeps the pool balanced when cell costs are skewed — the
+//! 8-thread trace captures cost far more than the 1-thread ones.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A deterministic-order parallel map over sweep cells.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        SweepRunner { workers: workers.max(1) }
+    }
+
+    /// A serial runner (one worker, no threads spawned).
+    pub fn serial() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// Worker count from the environment and command line:
+    ///
+    /// - `--serial` anywhere in `args` forces one worker;
+    /// - otherwise `SWEEP_THREADS=N` if set and valid;
+    /// - otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        if std::env::args().any(|a| a == "--serial") {
+            return SweepRunner::serial();
+        }
+        if let Ok(v) = std::env::var("SWEEP_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return SweepRunner::new(n);
+            }
+        }
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SweepRunner::new(n)
+    }
+
+    /// Number of workers this runner uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// `f` receives the item's index and the item. With one worker (or one
+    /// item) everything runs on the calling thread; otherwise cells are
+    /// claimed dynamically by a scoped worker pool.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(items.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(i, item);
+                    *slots[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker filled every claimed slot"))
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::from_env()
+    }
+}
+
+/// Wall-clock self-timing for a sweep binary.
+///
+/// Reports to **stderr** so experiment stdout stays byte-identical across
+/// worker counts (the determinism tests diff stdout).
+#[derive(Debug)]
+pub struct SelfTimer {
+    label: String,
+    workers: usize,
+    start: Instant,
+}
+
+impl SelfTimer {
+    /// Starts timing an experiment.
+    pub fn start(label: &str, runner: &SweepRunner) -> Self {
+        SelfTimer { label: label.to_string(), workers: runner.workers(), start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the timer and writes `[timing] label: N events in S (R
+    /// events/s, W workers)` to stderr. `events` is the number of trace
+    /// events the experiment pushed through the analysis engines.
+    pub fn finish(self, events: u64) {
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { events as f64 / secs } else { f64::INFINITY };
+        let _ = writeln!(
+            std::io::stderr(),
+            "[timing] {}: {} events in {:.3} s ({:.0} events/s, {} workers)",
+            self.label,
+            events,
+            secs,
+            rate,
+            self.workers
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let runner = SweepRunner::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = runner.run(&items, |i, &x| {
+            // Skew cell costs so workers finish out of order.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |_i: usize, x: &u64| x * x + 1;
+        assert_eq!(SweepRunner::serial().run(&items, f), SweepRunner::new(8).run(&items, f));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let runner = SweepRunner::new(4);
+        let empty: Vec<u32> = vec![];
+        assert!(runner.run(&empty, |_, &x| x).is_empty());
+        assert_eq!(runner.run(&[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(SweepRunner::new(0).workers(), 1);
+        assert_eq!(SweepRunner::serial().workers(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property: the parallel sweep pipeline is observationally identical to
+//! serial execution.
+//!
+//! The experiment reports are assembled from worker results in input
+//! order and all self-timing goes to stderr, so for any worker count the
+//! report string — the binary's stdout — must be byte-identical to a
+//! serial run. Checked for the two report-generating pipelines the
+//! regression harness diffs: `fig2_deps` and `sweep_threads`.
+
+use bench::experiments;
+use bench::SweepRunner;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fig2_deps_parallel_is_byte_identical_to_serial(
+        inserts in 8u64..32,
+        workers in 2usize..6,
+    ) {
+        let serial = experiments::fig2_deps(&SweepRunner::serial(), inserts);
+        let parallel = experiments::fig2_deps(&SweepRunner::new(workers), inserts);
+        prop_assert_eq!(&serial.report, &parallel.report);
+        prop_assert_eq!(serial.events, parallel.events);
+        prop_assert!(serial.events > 0);
+    }
+
+    #[test]
+    fn sweep_threads_parallel_is_byte_identical_to_serial(
+        inserts in 1u64..4,
+        workers in 2usize..6,
+    ) {
+        // Total inserts must divide across up to 8 simulated threads.
+        let total = inserts * 8;
+        let serial = experiments::sweep_threads(&SweepRunner::serial(), total);
+        let parallel = experiments::sweep_threads(&SweepRunner::new(workers), total);
+        prop_assert_eq!(&serial.report, &parallel.report);
+        prop_assert_eq!(serial.events, parallel.events);
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Same worker count, repeated runs: seeded trace capture plus
+    // input-order assembly must make the whole pipeline a pure function.
+    let a = experiments::sweep_threads(&SweepRunner::new(3), 16);
+    let b = experiments::sweep_threads(&SweepRunner::new(3), 16);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.events, b.events);
+}

@@ -126,14 +126,27 @@ impl Domain for DagDomain {
         if from.is_empty() {
             return;
         }
-        for &x in from {
-            if !into.contains(&x) {
-                into.push(x);
+        // Incremental maximal-antichain insertion: deps are only ever built
+        // through `join` from `bottom` and singleton `dep_of` values, so
+        // `into` is always an antichain already. Inserting each element of
+        // `from` while dropping dominated elements preserves the invariant
+        // without snapshotting (the old implementation cloned `into` per
+        // join, which dominated the DAG engine's allocation profile).
+        'insert: for &x in from {
+            let mut i = 0;
+            while i < into.len() {
+                let y = into[i];
+                if y == x || self.dominated(x, y) {
+                    continue 'insert; // x already covered by the frontier
+                }
+                if self.dominated(y, x) {
+                    into.swap_remove(i); // x supersedes y
+                } else {
+                    i += 1;
+                }
             }
+            into.push(x);
         }
-        // Keep only maximal elements (exact dominance via reachability).
-        let snapshot = into.clone();
-        into.retain(|&x| !snapshot.iter().any(|&y| y != x && self.dominated(x, y)));
         into.sort_unstable();
     }
 
@@ -145,9 +158,10 @@ impl Domain for DagDomain {
         }
         let id = self.nodes.len() as u32;
         let mut reach = BitSet::default();
+        // Size once so the unions and the final `set` never reallocate.
+        reach.words.resize(id as usize / 64 + 1, 0);
         for &d in input {
-            let other = self.reach[d as usize].clone();
-            reach.union_with(&other);
+            reach.union_with(&self.reach[d as usize]);
         }
         reach.set(id as usize);
         self.reach.push(reach);

@@ -21,7 +21,7 @@
 use crate::domain::{Domain, EventRef, WriteRec};
 use crate::{AnalysisConfig, Model};
 use mem_trace::{Op, Trace};
-use std::collections::HashMap;
+use persist_mem::FxHashMap;
 
 struct ThreadState<D: Domain> {
     /// Constraints ordering all future persists of this thread.
@@ -57,17 +57,73 @@ pub struct EngineStats {
     pub strands: u64,
 }
 
+/// Reusable engine working state.
+///
+/// The block tables and per-thread dependence values dominate the engine's
+/// allocation profile; keeping a `Scratch` alive across runs (hash-table
+/// capacity, dependence buffers) lets sweep loops analyze thousands of
+/// traces without re-growing them each time.
+pub(crate) struct Scratch<D: Domain> {
+    threads: Vec<ThreadState<D>>,
+    blocks: FxHashMap<u64, BlockState<D>>,
+    last_persist: FxHashMap<u64, D::PRef>,
+    /// Per-event incoming-constraint accumulator.
+    input: D::Dep,
+    /// Per-event outgoing-constraint accumulator.
+    out: D::Dep,
+}
+
+impl<D: Domain> Scratch<D> {
+    pub(crate) fn new(dom: &D) -> Self {
+        Scratch {
+            threads: Vec::new(),
+            blocks: FxHashMap::default(),
+            last_persist: FxHashMap::default(),
+            input: dom.bottom(),
+            out: dom.bottom(),
+        }
+    }
+
+    /// Clears analysis state while keeping allocated capacity for the next
+    /// run.
+    fn reset(&mut self, dom: &D, thread_count: usize) {
+        self.blocks.clear();
+        self.last_persist.clear();
+        self.threads.truncate(thread_count);
+        for ts in &mut self.threads {
+            ts.prev = dom.bottom();
+            ts.cur = dom.bottom();
+            ts.work = None;
+        }
+        for _ in self.threads.len()..thread_count {
+            self.threads.push(ThreadState {
+                prev: dom.bottom(),
+                cur: dom.bottom(),
+                work: None,
+            });
+        }
+    }
+}
+
 /// Runs the propagation over `trace` under `config`, driving `dom`.
 pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D) -> EngineStats {
+    let mut scratch = Scratch::new(dom);
+    run_with(trace, config, dom, &mut scratch)
+}
+
+/// Like [`run`], reusing `scratch` from a previous run.
+pub(crate) fn run_with<D: Domain>(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    dom: &mut D,
+    scratch: &mut Scratch<D>,
+) -> EngineStats {
     let model = config.model;
     let tracking = config.tracking;
     let atomic = config.atomic_persist;
 
-    let mut threads: Vec<ThreadState<D>> = (0..trace.thread_count())
-        .map(|_| ThreadState { prev: dom.bottom(), cur: dom.bottom(), work: None })
-        .collect();
-    let mut blocks: HashMap<u64, BlockState<D>> = HashMap::new();
-    let mut last_persist: HashMap<u64, D::PRef> = HashMap::new();
+    scratch.reset(dom, trace.thread_count() as usize);
+    let Scratch { threads, blocks, last_persist, input, out } = scratch;
     let mut stats = EngineStats::default();
 
     for (index, e) in trace.events().iter().enumerate() {
@@ -81,7 +137,7 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
 
                 // 1. Incoming constraint: thread program-order component
                 //    plus conflict inheritance from the touched blocks.
-                let mut input = threads[t].prev.clone();
+                input.clone_from(&threads[t].prev);
                 for blk in tracking.blocks_of(addr, len as u64) {
                     if !block_participates(model, blk.space) {
                         continue;
@@ -93,29 +149,29 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                                 // last write; a write after the last write
                                 // and all reads since (load-before-store).
                                 if is_read || is_write {
-                                    dom.join(&mut input, &bs.writer);
+                                    dom.join(input, &bs.writer);
                                 }
                                 if is_write {
-                                    dom.join(&mut input, &bs.readers);
+                                    dom.join(input, &bs.readers);
                                 }
                             }
                             Model::Bpfs => {
                                 // TSO-style: only the last persist's record
                                 // is visible; read-before-write races are
                                 // not detected.
-                                dom.join(&mut input, &bs.writer);
+                                dom.join(input, &bs.writer);
                             }
                             Model::Strand => {
                                 // Only strong persist atomicity: the block
                                 // state carries the last persist itself.
-                                dom.join(&mut input, &bs.writer);
+                                dom.join(input, &bs.writer);
                             }
                         }
                     }
                 }
 
                 // 2. The persist itself: coalesce or create.
-                let mut out = input.clone();
+                out.clone_from(input);
                 let mut persist_dep: Option<D::Dep> = None;
                 if is_persist {
                     stats.persist_ops += 1;
@@ -128,13 +184,13 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                     let dep = if atomic.contains_access(addr, len as u64) {
                         let ab = atomic.block_of(addr).to_bits();
                         match last_persist.get(&ab) {
-                            Some(&p) if config.coalescing && dom.can_coalesce(&input, p) => {
+                            Some(&p) if config.coalescing && dom.can_coalesce(input, p) => {
                                 stats.coalesced += 1;
                                 dom.coalesce(p, w, ev);
                                 dom.dep_of(p)
                             }
                             _ => {
-                                let p = dom.new_persist(&input, w, ev);
+                                let p = dom.new_persist(input, w, ev);
                                 last_persist.insert(ab, p);
                                 dom.dep_of(p)
                             }
@@ -143,13 +199,13 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                         // A persist spanning atomic blocks is not atomic
                         // with respect to failure: it never coalesces, and
                         // nothing may coalesce with it.
-                        let p = dom.new_persist(&input, w, ev);
+                        let p = dom.new_persist(input, w, ev);
                         for ab in atomic.blocks_of(addr, len as u64) {
                             last_persist.remove(&ab.to_bits());
                         }
                         dom.dep_of(p)
                     };
-                    dom.join(&mut out, &dep);
+                    dom.join(out, &dep);
                     persist_dep = Some(dep);
                 }
 
@@ -165,17 +221,17 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                     match model {
                         Model::Strict | Model::StrictRmo | Model::Epoch => {
                             if is_write {
-                                bs.writer = out.clone();
+                                bs.writer.clone_from(out);
                                 // The write's constraint dominates prior
                                 // readers (they fed its input).
                                 bs.readers = dom.bottom();
                             } else {
-                                dom.join(&mut bs.readers, &out);
+                                dom.join(&mut bs.readers, out);
                             }
                         }
                         Model::Bpfs => {
                             if is_write {
-                                bs.writer = out.clone();
+                                bs.writer.clone_from(out);
                             }
                             // Reads leave no record: the R→W race is the
                             // conflict BPFS's per-line epoch tags miss.
@@ -188,7 +244,7 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                             // idiom) — but non-persist context never flows
                             // through memory.
                             if let Some(dep) = &persist_dep {
-                                bs.writer = dep.clone();
+                                bs.writer.clone_from(dep);
                             }
                         }
                     }
@@ -199,11 +255,11 @@ pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D
                     Model::Strict => {
                         // Every access is ordered with its successors.
                         let prev = &mut threads[t].prev;
-                        dom.join(prev, &out);
+                        dom.join(prev, out);
                     }
                     Model::StrictRmo | Model::Epoch | Model::Bpfs | Model::Strand => {
                         let cur = &mut threads[t].cur;
-                        dom.join(cur, &out);
+                        dom.join(cur, out);
                     }
                 }
             }

@@ -20,8 +20,7 @@ use crate::dag::PersistDag;
 use core::fmt;
 use mem_trace::Trace;
 use persist_mem::MemoryImage;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mem_trace::rng::SmallRng;
 use std::collections::HashSet;
 
 /// A consistent cut: the set of persists the recovery observer witnessed.
@@ -161,7 +160,7 @@ impl<'a> RecoveryObserver<'a> {
                 (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
             let mut cut: Vec<u32> = Vec::with_capacity(n);
             while !ready.is_empty() {
-                let k = rng.gen_range(0..ready.len());
+                let k = rng.gen_index(ready.len());
                 let id = ready.swap_remove(k);
                 let pos = cut.binary_search(&id).unwrap_err();
                 cut.insert(pos, id);

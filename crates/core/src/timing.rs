@@ -119,13 +119,48 @@ impl TimingReport {
 /// assert_eq!(r.critical_path, 8); // program order serializes
 /// ```
 pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> TimingReport {
-    let mut dom = LevelDomain::default();
-    let stats = engine::run(trace, config, &mut dom);
-    TimingReport {
-        config: *config,
-        critical_path: dom.max_level,
-        persist_nodes: dom.nodes,
-        stats,
+    Analyzer::new().analyze(trace, config)
+}
+
+/// Reusable timing analyzer.
+///
+/// Keeps the engine's working state (block hash tables, per-thread
+/// dependence values) alive between runs so sweep loops that analyze many
+/// (trace, config) cells back to back skip the per-run growth of those
+/// tables. One-shot callers can keep using [`analyze`].
+pub struct Analyzer {
+    scratch: engine::Scratch<LevelDomain>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with empty scratch state.
+    pub fn new() -> Self {
+        Analyzer { scratch: engine::Scratch::new(&LevelDomain::default()) }
+    }
+
+    /// Computes the critical path of `trace` under `config`, reusing
+    /// scratch capacity from previous calls.
+    pub fn analyze(&mut self, trace: &Trace, config: &AnalysisConfig) -> TimingReport {
+        let mut dom = LevelDomain::default();
+        let stats = engine::run_with(trace, config, &mut dom, &mut self.scratch);
+        TimingReport {
+            config: *config,
+            critical_path: dom.max_level,
+            persist_nodes: dom.nodes,
+            stats,
+        }
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer").finish_non_exhaustive()
     }
 }
 
@@ -512,10 +547,10 @@ mod tests {
     #[test]
     fn models_are_monotonically_relaxed_on_random_single_thread() {
         // strict ≥ epoch ≥ strand on any single-threaded trace.
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use mem_trace::rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(11);
-        let ops: Vec<(u8, u64)> = (0..300).map(|_| (rng.gen_range(0..4), rng.gen_range(0..16))).collect();
+        let ops: Vec<(u8, u64)> =
+            (0..300).map(|_| (rng.gen_index(4) as u8, rng.gen_index(16) as u64)).collect();
         let t = run1(move |ctx| {
             let a = ctx.palloc(256, 64).unwrap();
             for &(kind, slot) in &ops {

@@ -1,0 +1,123 @@
+//! Fast integer hashing for the analysis hot paths.
+//!
+//! The persistency engines key every block-state and last-persist lookup
+//! by a packed 64-bit block id, and the traced memory keys every word by a
+//! packed 64-bit word id. `std`'s default SipHash is DoS-resistant but
+//! costs a long dependency chain per lookup; these maps hold simulator
+//! state keyed by trusted integers, so a multiply-fold hash in the style
+//! of rustc's FxHash is both safe and several times faster. Hand-rolled
+//! here because the build environment carries no external crates.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-fold hasher for integer-keyed simulator maps (FxHash-style).
+///
+/// Not DoS-resistant; use only for keys the simulator itself constructs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Odd constant close to 2^64 / φ, the classic Fibonacci-hashing
+/// multiplier; one multiply mixes low-entropy block ids across the table.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+const ROTATE: u32 = 26;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`] — drop-in for simulator-internal maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 8, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 8)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn sequential_word_keys_spread() {
+        // Block ids are typically small sequential multiples of the block
+        // size; the hash must not collapse them onto a few buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i * 8);
+            buckets[(h.finish() >> 58) as usize] += 1;
+        }
+        let (min, max) = buckets.iter().fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(min > 0, "empty top-bit bucket: hash collapses sequential keys");
+        assert!(max < 4 * 1000, "severe skew: {max} of 64000 in one of 64 buckets");
+    }
+
+    #[test]
+    fn hasher_differs_by_write_width() {
+        let mut a = FxHasher::default();
+        a.write_u64(7);
+        let mut b = FxHasher::default();
+        b.write_u64(8);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

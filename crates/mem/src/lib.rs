@@ -37,11 +37,13 @@
 mod addr;
 mod alloc;
 mod error;
+pub mod fx;
 mod granularity;
 pub mod hw;
 mod image;
 
 pub use addr::{MemAddr, Space};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use alloc::PersistentAllocator;
 pub use error::MemError;
 pub use granularity::{AtomicPersistSize, BlockId, BlockRange, TrackingGranularity};

@@ -52,6 +52,7 @@ pub mod io;
 pub mod locks;
 mod mem;
 pub mod profile;
+pub mod rng;
 mod sched;
 pub mod stats;
 mod trace;

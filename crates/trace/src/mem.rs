@@ -1,11 +1,10 @@
 //! Traced shared memory and the per-thread access API.
 
 use crate::{Event, Op, Scheduler, ThreadId, Trace};
-use parking_lot::{Mutex, MutexGuard};
-use persist_mem::{MemAddr, MemError, PersistentAllocator};
+use persist_mem::{FxHashMap, MemAddr, MemError, PersistentAllocator};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Number of word shards. Each 8-byte word of either address space maps to
 /// one shard; a shard's mutex is the paper's "bank of locks" providing
@@ -26,7 +25,7 @@ fn shard_of(key: u64) -> usize {
 }
 
 struct Inner<S> {
-    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    shards: Vec<Mutex<FxHashMap<u64, u64>>>,
     seq: AtomicU64,
     alloc: Mutex<PersistentAllocator>,
     sched: S,
@@ -57,7 +56,7 @@ impl<S: Scheduler> TracedMem<S> {
     pub fn new(sched: S) -> Self {
         TracedMem {
             inner: Inner {
-                shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                shards: (0..NSHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
                 seq: AtomicU64::new(0),
                 alloc: Mutex::new(PersistentAllocator::new()),
                 sched,
@@ -74,7 +73,7 @@ impl<S: Scheduler> TracedMem<S> {
     ///
     /// Propagates [`MemError::BadAlloc`] for invalid requests.
     pub fn setup_alloc(&self, size: u64, align: u64) -> Result<MemAddr, MemError> {
-        self.inner.alloc.lock().alloc(size, align)
+        self.inner.alloc.lock().unwrap().alloc(size, align)
     }
 
     /// Runs `nthreads` copies of `f`, each with its own [`ThreadCtx`], and
@@ -142,7 +141,7 @@ impl<S> std::fmt::Debug for ThreadCtx<'_, S> {
 }
 
 /// One locked shard: its index and the guard over its word map.
-type LockedShard<'g> = (usize, MutexGuard<'g, HashMap<u64, u64>>);
+type LockedShard<'g> = (usize, MutexGuard<'g, FxHashMap<u64, u64>>);
 
 /// Locked view of the (up to two) word shards an access touches.
 struct WordView<'g> {
@@ -209,12 +208,12 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
             let s0 = shard_of(first);
             let s1 = shard_of(last);
             let mut view = if first == last || s0 == s1 {
-                WordView { guards: [Some((s0, self.inner.shards[s0].lock())), None] }
+                WordView { guards: [Some((s0, self.inner.shards[s0].lock().unwrap())), None] }
             } else {
                 // Lock in ascending shard order to avoid deadlock.
                 let (lo, hi) = if s0 < s1 { (s0, s1) } else { (s1, s0) };
-                let g_lo = self.inner.shards[lo].lock();
-                let g_hi = self.inner.shards[hi].lock();
+                let g_lo = self.inner.shards[lo].lock().unwrap();
+                let g_hi = self.inner.shards[hi].lock().unwrap();
                 WordView { guards: [Some((lo, g_lo)), Some((hi, g_hi))] }
             };
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
@@ -390,7 +389,7 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
     ///
     /// Returns [`MemError::BadAlloc`] for a zero-size or misaligned request.
     pub fn palloc(&self, size: u64, align: u64) -> Result<MemAddr, MemError> {
-        let addr = self.inner.alloc.lock().alloc(size, align)?;
+        let addr = self.inner.alloc.lock().unwrap().alloc(size, align)?;
         self.record_plain(Op::PAlloc { addr, size });
         Ok(addr)
     }
@@ -401,7 +400,7 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
     ///
     /// Returns [`MemError::BadFree`] if `addr` is not a live allocation.
     pub fn pfree(&self, addr: MemAddr) -> Result<(), MemError> {
-        self.inner.alloc.lock().free(addr)?;
+        self.inner.alloc.lock().unwrap().free(addr)?;
         self.record_plain(Op::PFree { addr });
         Ok(())
     }
@@ -421,6 +420,7 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
 mod tests {
     use super::*;
     use crate::{FreeRunScheduler, SeededScheduler};
+    use std::collections::HashMap;
 
     #[test]
     fn single_thread_rw() {

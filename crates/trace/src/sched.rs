@@ -1,10 +1,9 @@
 //! Interleaving control for trace capture.
 
+use crate::rng::SmallRng;
 use crate::ThreadId;
-use parking_lot::{Condvar, Mutex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
 
 /// Decides when each simulated thread may perform its next traced
 /// operation.
@@ -52,7 +51,7 @@ impl SeededState {
         self.granted = if self.runnable.is_empty() {
             None
         } else {
-            let n = self.rng.gen_range(0..self.runnable.len());
+            let n = self.rng.gen_index(self.runnable.len());
             self.runnable.iter().nth(n).copied()
         };
     }
@@ -92,7 +91,7 @@ impl SeededScheduler {
 
 impl Scheduler for SeededScheduler {
     fn register(&self, tid: ThreadId) {
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         s.runnable.insert(tid.0);
         if s.granted.is_none() {
             s.pick_next();
@@ -101,11 +100,11 @@ impl Scheduler for SeededScheduler {
     }
 
     fn unregister(&self, tid: ThreadId) {
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         // Leaving is itself a scheduled event: wait for this thread's turn
         // so the runnable set shrinks at a deterministic point.
         while s.granted != Some(tid.0) {
-            self.cv.wait(&mut s);
+            s = self.cv.wait(s).unwrap();
         }
         s.runnable.remove(&tid.0);
         s.pick_next();
@@ -113,9 +112,9 @@ impl Scheduler for SeededScheduler {
     }
 
     fn with_turn(&self, tid: ThreadId, f: &mut dyn FnMut()) {
-        let mut s = self.state.lock();
+        let mut s = self.state.lock().unwrap();
         while s.granted != Some(tid.0) {
-            self.cv.wait(&mut s);
+            s = self.cv.wait(s).unwrap();
         }
         // Perform the operation while holding the turn (but not the state
         // lock is held too — the op is cheap and this keeps the grant order
@@ -147,13 +146,13 @@ mod tests {
                 scope.spawn(move || {
                     let tid = ThreadId(t);
                     for _ in 0..16 {
-                        sched.with_turn(tid, &mut || order.lock().push(t));
+                        sched.with_turn(tid, &mut || order.lock().unwrap().push(t));
                     }
                     sched.unregister(tid);
                 });
             }
         });
-        Arc::try_unwrap(order).unwrap().into_inner()
+        Arc::try_unwrap(order).unwrap().into_inner().unwrap()
     }
 
     #[test]
