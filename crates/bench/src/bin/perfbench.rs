@@ -21,6 +21,7 @@ use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
 use bench::SweepRunner;
 use persistency::dag::PersistDag;
 use persistency::{timing, AnalysisConfig, Model};
+use pfi::fuzz::{run_cell, FuzzCell, FuzzConfig, Structure};
 use pqueue::traced::BarrierMode;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -142,6 +143,26 @@ fn main() {
         std::hint::black_box(dag.critical_path())
     });
 
+    // --- Crash-fuzz injection throughput (pfi), per structure. ---
+    let fuzz_cfg = FuzzConfig {
+        ops: 16,
+        injections: arg("--fuzz-injections", 500),
+        seed: 7,
+        ..FuzzConfig::default()
+    };
+    let fuzz_rows: Vec<(&str, f64)> = Structure::STOCK
+        .iter()
+        .map(|&structure| {
+            let cell = FuzzCell { structure, model: Model::Epoch };
+            let sec = best_of(3, || {
+                let r = run_cell(&fuzz_cfg, cell);
+                assert!(r.passed(), "perfbench fuzz cell must pass");
+                std::hint::black_box(r.failures)
+            });
+            (structure.name(), fuzz_cfg.injections as f64 / sec)
+        })
+        .collect();
+
     // --- End-to-end sweep pipeline comparison. ---
     let baseline_events = sweep_serial_baseline(sweep_inserts); // warmup + volume check
     let optimized_events = sweep_optimized(&runner, sweep_inserts);
@@ -171,6 +192,17 @@ fn main() {
     writeln!(json, "    \"nodes\": {dag_nodes},").unwrap();
     writeln!(json, "    \"events_per_sec\": {dag_eps:.0}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"crash_fuzz\": {{").unwrap();
+    writeln!(json, "    \"model\": \"{}\",", Model::Epoch.name()).unwrap();
+    writeln!(json, "    \"ops\": {},", fuzz_cfg.ops).unwrap();
+    writeln!(json, "    \"injections\": {},", fuzz_cfg.injections).unwrap();
+    writeln!(json, "    \"injections_per_sec\": {{").unwrap();
+    for (i, (name, ips)) in fuzz_rows.iter().enumerate() {
+        let comma = if i + 1 < fuzz_rows.len() { "," } else { "" };
+        writeln!(json, "      \"{name}\": {ips:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"sweep\": {{").unwrap();
     writeln!(json, "    \"cells\": {},", GROUPS.len() * MODELS.len() * THREADS.len() + MODELS.len() * THREADS.len()).unwrap();
     writeln!(json, "    \"events\": {optimized_events},").unwrap();
@@ -187,6 +219,14 @@ fn main() {
     println!("  scalar one-shot : {scalar_oneshot_eps:>12.0} events/s");
     println!("  scalar reused   : {scalar_reused_eps:>12.0} events/s");
     println!("  dag ({dag_nodes} nodes)  : {dag_eps:>12.0} events/s");
+    println!();
+    println!(
+        "crash-fuzz throughput ({} injections, {} ops, epoch, multi-crash on):",
+        fuzz_cfg.injections, fuzz_cfg.ops
+    );
+    for (name, ips) in &fuzz_rows {
+        println!("  {name:<4}: {ips:>12.0} injections/s");
+    }
     println!();
     println!(
         "sweep pipeline ({} cells, {} events, {} workers):",

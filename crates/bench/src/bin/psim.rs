@@ -9,18 +9,26 @@
 //! psim analyze --trace /tmp/run.trace --model epoch [--atomic 64] [--tracking 8]
 //! psim cuts    --trace /tmp/run.trace --model epoch --samples 200
 //! psim crash   --trace /tmp/run.trace --model strand
+//! psim crash-fuzz --structure all --model all --injections 1000 --seed 7
 //! ```
 //!
 //! `capture` writes a `.meta` sidecar recording the queue layout so
-//! `crash` can run the queue's recovery invariant later.
+//! `crash` can run the queue's recovery invariant later. `crash-fuzz`
+//! needs no trace: it drives the native protocols through the `pfi`
+//! shadow backend and injects model-legal crashes directly.
+//!
+//! Analysis subcommands accept `--json` for machine-readable output, and
+//! exit nonzero when a consistency check fails.
 
 use bench::fmt::num;
+use bench::sweep::SweepRunner;
 use mem_trace::{io as trace_io, SeededScheduler, Trace, TracedMem};
 use persist_mem::{AtomicPersistSize, MemAddr, TrackingGranularity};
 use persistency::crash::{check, Exploration};
 use persistency::dag::PersistDag;
 use persistency::observer::RecoveryObserver;
 use persistency::{timing, AnalysisConfig, Model};
+use pfi::fuzz::{run_cell, FuzzCell, FuzzConfig, Structure};
 use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayout};
 use pqueue::recovery::crash_invariant;
 use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
@@ -45,6 +53,23 @@ impl Args {
     fn required(&self, flag: &str) -> Result<&str, String> {
         self.get(flag).ok_or_else(|| format!("missing required {flag}"))
     }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn parse_model(s: &str) -> Result<Model, String> {
@@ -172,6 +197,35 @@ fn load_layout(path: &str) -> Result<QueueLayout, String> {
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let trace = load_trace(args.required("--trace")?)?;
     let profile = mem_trace::profile::TraceProfile::of(&trace);
+    let models: Vec<Model> = match args.get("--model") {
+        Some(m) => vec![parse_model(m)?],
+        None => Model::ALL.to_vec(),
+    };
+    if args.has("--json") {
+        let mut rows = Vec::new();
+        for model in models {
+            let cfg = config_from(args, model)?;
+            let r = timing::analyze(&trace, &cfg);
+            rows.push(format!(
+                "    {{\"model\": \"{}\", \"critical_path\": {}, \"critical_path_per_insert\": {:.3}, \"persists\": {}, \"coalesced\": {}, \"barriers\": {}}}",
+                model,
+                r.critical_path,
+                r.critical_path_per_work(),
+                r.stats.persist_ops,
+                r.stats.coalesced,
+                r.stats.barriers
+            ));
+        }
+        println!(
+            "{{\n  \"schema\": \"psim_analyze_v1\",\n  \"trace\": {{\"events\": {}, \"persists\": {}, \"persist_barriers\": {}, \"work_items\": {}}},\n  \"models\": [\n{}\n  ]\n}}",
+            profile.events,
+            profile.persists,
+            profile.persist_barriers,
+            profile.work_items,
+            rows.join(",\n")
+        );
+        return Ok(());
+    }
     println!(
         "trace: {} events, {} persists ({}% of accesses), {} barriers, \
          mean epoch {} persists, {} work items",
@@ -183,10 +237,6 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         profile.work_items
     );
     println!();
-    let models: Vec<Model> = match args.get("--model") {
-        Some(m) => vec![parse_model(m)?],
-        None => Model::ALL.to_vec(),
-    };
     println!(
         "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "model", "critical", "cp/insert", "persists", "coalesced", "barriers"
@@ -217,6 +267,14 @@ fn cmd_cuts(args: &Args) -> Result<(), String> {
     let cuts = obs.sample_cuts(args.num("--seed", 1)?, samples);
     let sizes: Vec<usize> = cuts.iter().map(|c| c.len()).collect();
     let max = sizes.iter().copied().max().unwrap_or(0);
+    if args.has("--json") {
+        println!(
+            "{{\n  \"schema\": \"psim_cuts_v1\",\n  \"model\": \"{model}\",\n  \"persists\": {},\n  \"states_sampled\": {},\n  \"max_cut\": {max}\n}}",
+            dag.len(),
+            cuts.len()
+        );
+        return Ok(());
+    }
     println!("model {model}: {} persists, {} distinct recovery states sampled", dag.len(), cuts.len());
     println!("cut sizes: min 0, max {max} (full = {})", dag.len());
     Ok(())
@@ -253,23 +311,118 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
         let layout = load_layout(path)?;
         check(&dag, exploration, crash_invariant(layout)).map_err(|e| e.to_string())?
     };
-    println!("model {model}: {report}");
-    if !report.is_consistent() {
-        for v in report.violations.iter().take(3) {
-            println!("  {v}");
+    if args.has("--json") {
+        let violations = report
+            .violations
+            .iter()
+            .take(3)
+            .map(|v| format!("\"{}\"", esc(&v.to_string())))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{{\n  \"schema\": \"psim_crash_v1\",\n  \"model\": \"{model}\",\n  \"consistent\": {},\n  \"violations\": [{violations}]\n}}",
+            report.is_consistent()
+        );
+    } else {
+        println!("model {model}: {report}");
+        if !report.is_consistent() {
+            for v in report.violations.iter().take(3) {
+                println!("  {v}");
+            }
         }
+    }
+    if !report.is_consistent() {
         return Err("recovery invariant violated".into());
     }
     Ok(())
 }
 
+fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
+    let structures: Vec<Structure> = match args.get("--structure") {
+        None | Some("all") => Structure::ALL.to_vec(),
+        Some("stock") => Structure::STOCK.to_vec(),
+        Some(s) => vec![Structure::from_name(s).ok_or_else(|| {
+            format!("unknown --structure {s}; use all, stock, cwl, cwl-elided, 2lc, kv or txn")
+        })?],
+    };
+    let models: Vec<Model> = match args.get("--model") {
+        None | Some("all") => Model::ALL.to_vec(),
+        Some(m) => vec![parse_model(m)?],
+    };
+    let cfg = FuzzConfig {
+        ops: args.num("--ops", 24)?,
+        injections: args.num("--injections", 1000)?,
+        seed: args.num("--seed", 7)?,
+        multi_crash: !args.has("--no-multi-crash"),
+        torn: args.has("--torn"),
+    };
+    let cells: Vec<FuzzCell> = structures
+        .iter()
+        .flat_map(|&structure| models.iter().map(move |&model| FuzzCell { structure, model }))
+        .collect();
+
+    // Cells are seeded independently, so the report is identical for any
+    // worker count.
+    let runner = SweepRunner::from_env();
+    let reports = runner.run(&cells, |_, cell| run_cell(&cfg, *cell));
+    let json = pfi::report::render(&cfg, &reports);
+    if let Some(path) = args.get("--out") {
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if args.has("--json") {
+        print!("{json}");
+    } else {
+        println!(
+            "crash-fuzz: {} cells, {} injections each, ops {}, seed {}, multi-crash {}, torn {}, {} workers",
+            cells.len(),
+            cfg.injections,
+            cfg.ops,
+            cfg.seed,
+            cfg.multi_crash,
+            cfg.torn,
+            runner.workers()
+        );
+        println!(
+            "{:<11} {:<11} {:>7} {:>11} {:>12} {:>9}",
+            "structure", "model", "events", "injections", "rec-crashes", "failures"
+        );
+        for r in &reports {
+            println!(
+                "{:<11} {:<11} {:>7} {:>11} {:>12} {:>9}",
+                r.structure, r.model, r.events, r.injections, r.recovery_crashes, r.failures
+            );
+        }
+        for r in &reports {
+            if let Some(f) = &r.first_failure {
+                let second = f
+                    .second_crash_point
+                    .map(|p| format!(" then at recovery event {p}"))
+                    .unwrap_or_default();
+                println!(
+                    "FAIL {}/{}: crash at event {}{} dropping lines {:?}: {}",
+                    r.structure, r.model, f.crash_point, second, f.dropped_lines, f.message
+                );
+            }
+        }
+    }
+    let failing = reports.iter().filter(|r| !r.passed()).count();
+    if failing > 0 {
+        return Err(format!("crash-fuzz found failures in {failing} cell(s)"));
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: psim <capture|analyze|cuts|crash> [flags]\n\
-     capture: --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
-              [--seed N] [--capacity N] --out FILE\n\
-     analyze: --trace FILE [--model NAME] [--atomic N] [--tracking N]\n\
-     cuts:    --trace FILE [--model NAME] [--samples N] [--seed N]\n\
-     crash:   --trace FILE [--model NAME] [--samples N] [--seed N]"
+    "usage: psim <capture|analyze|cuts|crash|crash-fuzz> [flags]\n\
+     capture:    --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
+                 [--seed N] [--capacity N] --out FILE\n\
+     analyze:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--json]\n\
+     cuts:       --trace FILE [--model NAME] [--samples N] [--seed N] [--json]\n\
+     crash:      --trace FILE [--model NAME] [--samples N] [--seed N] [--json]\n\
+     crash-fuzz: [--structure all|stock|cwl|cwl-elided|2lc|kv|txn] [--model all|NAME]\n\
+                 [--ops N] [--injections N] [--seed N] [--no-multi-crash] [--torn]\n\
+                 [--json] [--out FILE] [--serial]\n\
+     analysis commands exit nonzero when a consistency check fails"
         .into()
 }
 
@@ -285,6 +438,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "cuts" => cmd_cuts(&args),
         "crash" => cmd_crash(&args),
+        "crash-fuzz" => cmd_crash_fuzz(&args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())

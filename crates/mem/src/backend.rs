@@ -1,0 +1,165 @@
+//! Interposable persistence backend.
+//!
+//! Native (non-traced) persistent data structures express their persistence
+//! protocol through this trait instead of raw pointers + [`crate::hw`]
+//! intrinsics: stores, cache-line flushes and persist fences become trait
+//! calls, so the *same* structure code can run over
+//!
+//! - [`DirectPmem`] — a plain [`MemoryImage`] where every store is
+//!   immediately durable (functional testing, golden runs), or
+//! - a tracking backend (the `pfi` crate's `ShadowPmem`) that records every
+//!   store/flush/fence and injects crashes that drop any subset of
+//!   *pending* (written-but-not-persisted) cache lines the active
+//!   persistency model allows.
+//!
+//! The call mapping to hardware is one-to-one: [`PmemBackend::store`] is a
+//! plain store to persistent memory, [`PmemBackend::flush`] is
+//! `clflush`/`dc cvac` over the covered lines, and [`PmemBackend::fence`]
+//! is `sfence`/`dmb ish` (see [`crate::hw`] for the per-target
+//! instructions). A store is *guaranteed durable* only once a flush
+//! covering it has been followed by a fence; anything weaker is pending
+//! and may be lost — or survive — at a crash.
+//!
+//! # Example
+//!
+//! ```rust
+//! use persist_mem::{DirectPmem, MemAddr, PmemBackend};
+//!
+//! let mut mem = DirectPmem::new();
+//! let flag = MemAddr::persistent(0);
+//! let payload = MemAddr::persistent(64);
+//! mem.store_u64(payload, 42);
+//! mem.persist(payload, 8); // flush + fence: payload durable
+//! mem.store_u64(flag, 1);
+//! mem.persist(flag, 8);
+//! assert_eq!(mem.image().read_u64(payload).unwrap(), 42);
+//! ```
+
+use crate::{MemAddr, MemoryImage};
+
+/// The persistence interface native structures are written against.
+///
+/// All methods take `&mut self` so tracking backends can record ordering;
+/// loads are included because recovery-relevant protocols read their own
+/// persistent state (head pointers, probe chains, log counts).
+pub trait PmemBackend {
+    /// Reads `buf.len()` bytes at `addr` from the current (cached, possibly
+    /// not yet durable) contents.
+    fn load(&mut self, addr: MemAddr, buf: &mut [u8]);
+
+    /// Stores `data` at `addr`. The bytes become visible to subsequent
+    /// loads immediately but are only *pending* durability.
+    fn store(&mut self, addr: MemAddr, data: &[u8]);
+
+    /// Initiates write-back of every cache line overlapping
+    /// `[addr, addr + len)` (`clflush` per line). Durability is guaranteed
+    /// only after a subsequent [`PmemBackend::fence`].
+    fn flush(&mut self, addr: MemAddr, len: u64);
+
+    /// Persist fence (`sfence`): all previously flushed lines are durable
+    /// once this returns.
+    fn fence(&mut self);
+
+    /// Strand barrier (§5.3 of the paper): clears the persist-ordering
+    /// dependences this execution has accumulated. A no-op for backends
+    /// (and models) without strand semantics.
+    fn strand(&mut self) {}
+
+    /// Reads a little-endian `u64` at `addr`.
+    fn load_u64(&mut self, addr: MemAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.load(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Stores a little-endian `u64` at `addr`.
+    fn store_u64(&mut self, addr: MemAddr, value: u64) {
+        self.store(addr, &value.to_le_bytes());
+    }
+
+    /// Flush + fence: makes `[addr, addr + len)` durable before returning.
+    fn persist(&mut self, addr: MemAddr, len: u64) {
+        self.flush(addr, len);
+        self.fence();
+    }
+}
+
+/// A backend with no volatility: stores land directly in a
+/// [`MemoryImage`] and are durable immediately; flushes and fences are
+/// no-ops.
+///
+/// This is the golden-run backend: a structure driven over `DirectPmem`
+/// yields the image a crash-free execution would leave behind, which the
+/// fault injector compares recovered states against.
+#[derive(Debug, Clone, Default)]
+pub struct DirectPmem {
+    image: MemoryImage,
+}
+
+impl DirectPmem {
+    /// An empty (all-zero) persistent image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing image (e.g. a recovered one).
+    pub fn with_image(image: MemoryImage) -> Self {
+        DirectPmem { image }
+    }
+
+    /// The current image.
+    pub fn image(&self) -> &MemoryImage {
+        &self.image
+    }
+
+    /// Consumes the backend, returning its image.
+    pub fn into_image(self) -> MemoryImage {
+        self.image
+    }
+}
+
+impl PmemBackend for DirectPmem {
+    fn load(&mut self, addr: MemAddr, buf: &mut [u8]) {
+        self.image.read(addr, buf).expect("backend load in range");
+    }
+
+    fn store(&mut self, addr: MemAddr, data: &[u8]) {
+        self.image.write(addr, data).expect("backend store in range");
+    }
+
+    fn flush(&mut self, _addr: MemAddr, _len: u64) {}
+
+    fn fence(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_backend_roundtrip() {
+        let mut mem = DirectPmem::new();
+        let a = MemAddr::persistent(128);
+        mem.store_u64(a, 7);
+        assert_eq!(mem.load_u64(a), 7);
+        mem.persist(a, 8);
+        mem.strand(); // default no-op
+        assert_eq!(mem.into_image().read_u64(a).unwrap(), 7);
+    }
+
+    #[test]
+    fn with_image_preserves_contents() {
+        let mut img = MemoryImage::new();
+        img.write_u64(MemAddr::persistent(0), 99).unwrap();
+        let mut mem = DirectPmem::with_image(img);
+        assert_eq!(mem.load_u64(MemAddr::persistent(0)), 99);
+    }
+
+    #[test]
+    fn unwritten_bytes_read_zero() {
+        let mut mem = DirectPmem::new();
+        let mut buf = [0xAA; 4];
+        mem.load(MemAddr::persistent(4096), &mut buf);
+        assert_eq!(buf, [0; 4]);
+    }
+}

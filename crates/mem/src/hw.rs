@@ -2,27 +2,38 @@
 //!
 //! The native queue implementations used to measure instruction execution
 //! rate (the Table 1 normalization baseline) call these at the points where
-//! a real persistent-memory system would flush cache lines and fence. On
-//! x86_64 they compile to the actual `clflush` / `sfence` instructions; on
-//! other targets they are ordering fences only, preserving control-flow
-//! shape so the measured instruction rate stays comparable.
+//! a real persistent-memory system would flush cache lines and fence.
+//!
+//! # Per-target guarantees
+//!
+//! | target | [`flush_cache_line`] | [`persist_fence`] | guarantee |
+//! |---|---|---|---|
+//! | `x86_64` | `clflush` | `sfence` | line leaves the cache hierarchy; on ADR platforms flush + fence is durable |
+//! | `aarch64` | `dc cvac` | `dmb ish` | line cleaned to the point of coherency; durable on platforms where PoC reaches the persistence domain (use `dc cvap`/PoP systems for stronger claims) |
+//! | other | compiler/SeqCst fence | SeqCst fence | ordering only — no cache maintenance is performed; the code path and its control-flow shape are preserved but nothing is written back |
 //!
 //! There is no NVDIMM in the evaluation environment, so these do not make
-//! data durable — they exercise the code path and its cost, which is what
-//! the instruction-rate measurement needs (see DESIGN.md substitutions).
+//! data durable here regardless of target — they exercise the real
+//! instruction sequence and its cost, which is what the instruction-rate
+//! measurement needs (see DESIGN.md substitutions). The `pfi` crate's
+//! shadow backend is the semantic counterpart: it gives the flush/fence
+//! calls their *durability* meaning and crash-tests the protocols built
+//! from them.
 
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 use std::sync::atomic::{fence, Ordering};
 
 /// Flushes the cache line containing `p` toward memory.
 ///
-/// On x86_64 this issues `clflush`; elsewhere it is a compiler fence so the
-/// surrounding code is not reordered away.
+/// On x86_64 this issues `clflush`; on aarch64 `dc cvac` (clean by virtual
+/// address to the point of coherency); elsewhere it is a compiler fence so
+/// the surrounding code is not reordered away. See the module table for
+/// what each target actually guarantees.
 ///
 /// # Safety
 ///
-/// `p` must point into a mapped allocation (`clflush` of an unmapped
-/// address faults). The pointee is never read or written.
+/// `p` must point into a mapped allocation (`clflush`/`dc cvac` of an
+/// unmapped address faults). The pointee is never read or written.
 ///
 /// # Example
 ///
@@ -37,7 +48,14 @@ pub unsafe fn flush_cache_line(p: *const u8) {
     unsafe {
         core::arch::x86_64::_mm_clflush(p);
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: the caller guarantees `p` is mapped; `dc cvac` performs no
+    // data access beyond the cache maintenance itself. Linux enables EL0
+    // cache maintenance (SCTLR_EL1.UCI), so this does not trap.
+    unsafe {
+        core::arch::asm!("dc cvac, {0}", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     {
         let _ = p;
         fence(Ordering::SeqCst);
@@ -47,15 +65,21 @@ pub unsafe fn flush_cache_line(p: *const u8) {
 /// Orders preceding flushes before subsequent stores (persist barrier at
 /// the hardware level).
 ///
-/// On x86_64 this issues `sfence`; elsewhere a sequentially consistent
-/// fence.
+/// On x86_64 this issues `sfence`; on aarch64 `dmb ish` (inner-shareable
+/// data barrier, which orders the preceding `dc cvac` completions);
+/// elsewhere a sequentially consistent fence.
 #[inline]
 pub fn persist_fence() {
     #[cfg(target_arch = "x86_64")]
     unsafe {
         core::arch::x86_64::_mm_sfence();
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: a data memory barrier accesses no memory.
+    unsafe {
+        core::arch::asm!("dmb ish", options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     fence(Ordering::SeqCst);
 }
 

@@ -12,7 +12,10 @@
 //! - [`PersistentAllocator`] — the `pmalloc`/`pfree` allocator used by
 //!   workloads to place data in the persistent space,
 //! - [`hw`] — real cache-line flush intrinsics for native (non-simulated)
-//!   persistent data structures.
+//!   persistent data structures,
+//! - [`PmemBackend`] / [`DirectPmem`] — the interposable persistence
+//!   backend native structures are written against, so the `pfi` fault
+//!   injector can shadow their store/flush/fence traffic.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 
 mod addr;
 mod alloc;
+pub mod backend;
 mod error;
 pub mod fx;
 mod granularity;
@@ -43,6 +47,7 @@ pub mod hw;
 mod image;
 
 pub use addr::{MemAddr, Space};
+pub use backend::{DirectPmem, PmemBackend};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use alloc::PersistentAllocator;
 pub use error::MemError;

@@ -1,0 +1,369 @@
+//! The per-cell crash-fuzz loop.
+//!
+//! A *cell* is one (structure × model) pair. [`run_cell`] records the
+//! target's workload once, then injects `injections` crashes: even
+//! injection indices sweep crash points systematically, odd ones draw
+//! them (and the survivor sets) from a small deterministic RNG seeded
+//! from `(seed, structure, model)` — so a cell's outcome is identical
+//! regardless of how many workers run the matrix. The first failure in a
+//! cell is shrunk to the earliest crash point and smallest dropped set
+//! that still fail; later failures are only counted.
+//!
+//! When the target's recovery writes (the undo log), its recovery script
+//! is replayed through a fresh shadow and a *second* crash is injected
+//! into it (multi-crash), checking that recovery is itself
+//! crash-consistent.
+
+use crate::inject::{CrashCase, FragmentSet};
+use crate::shadow::{Recording, ShadowPmem};
+use crate::targets::{CwlTarget, FuzzTarget, KvTarget, TwoLockTarget, TxnTarget};
+use mem_trace::rng::SmallRng;
+use persist_mem::{AtomicPersistSize, MemoryImage, PmemBackend};
+use persistency::Model;
+use pstruct::txn::RecoveryStep;
+
+/// Crash-fuzz parameters, shared by every cell of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Logical operations in the recorded workload.
+    pub ops: u64,
+    /// Crashes injected per cell.
+    pub injections: u64,
+    /// Base seed; mixed with the cell identity per cell.
+    pub seed: u64,
+    /// Inject a second crash into write-ful recovery scripts.
+    pub multi_crash: bool,
+    /// Allow torn (sub-fragment) persists at drop boundaries.
+    pub torn: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { ops: 24, injections: 1000, seed: 0, multi_crash: true, torn: false }
+    }
+}
+
+/// The structures the fuzzer knows how to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// Copy While Locked, full barriers.
+    Cwl,
+    /// Copy While Locked with the entry-persist fence elided — the
+    /// known-buggy specimen the injector must catch.
+    CwlElided,
+    /// Two-Lock Concurrent.
+    TwoLock,
+    /// Persistent KV table.
+    Kv,
+    /// Undo-log transactions (write-ful recovery: the multi-crash target).
+    Txn,
+}
+
+impl Structure {
+    /// Every structure, stock ones first.
+    pub const ALL: [Structure; 5] =
+        [Structure::Cwl, Structure::TwoLock, Structure::Kv, Structure::Txn, Structure::CwlElided];
+
+    /// The structures expected to survive fuzzing.
+    pub const STOCK: [Structure; 4] =
+        [Structure::Cwl, Structure::TwoLock, Structure::Kv, Structure::Txn];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::Cwl => "cwl",
+            Structure::CwlElided => "cwl-elided",
+            Structure::TwoLock => "2lc",
+            Structure::Kv => "kv",
+            Structure::Txn => "txn",
+        }
+    }
+
+    /// Parses a report name back into a structure.
+    pub fn from_name(name: &str) -> Option<Structure> {
+        Structure::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Builds the target driving this structure.
+    pub fn target(self) -> Box<dyn FuzzTarget> {
+        match self {
+            Structure::Cwl => Box::new(CwlTarget::new()),
+            Structure::CwlElided => Box::new(CwlTarget::elided()),
+            Structure::TwoLock => Box::new(TwoLockTarget::new()),
+            Structure::Kv => Box::new(KvTarget::new()),
+            Structure::Txn => Box::new(TxnTarget::new()),
+        }
+    }
+}
+
+/// One (structure × model) fuzz cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzCell {
+    /// The structure under test.
+    pub structure: Structure,
+    /// The persistency model governing what crashes may drop.
+    pub model: Model,
+}
+
+/// The first failure of a cell, shrunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Injection index that first failed.
+    pub injection: u64,
+    /// Crash point (events executed) after shrinking.
+    pub crash_point: usize,
+    /// For multi-crash failures: the crash point within recovery.
+    pub second_crash_point: Option<usize>,
+    /// Whether the failure needed a crash during recovery.
+    pub during_recovery: bool,
+    /// Cache lines dropped or torn by the (shrunk) failing crash.
+    pub dropped_lines: Vec<u64>,
+    /// What the recovery or the checker rejected.
+    pub message: String,
+}
+
+/// Outcome of one fuzz cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellReport {
+    /// Structure name.
+    pub structure: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Events in the recorded workload.
+    pub events: usize,
+    /// Crashes injected.
+    pub injections: u64,
+    /// Crashes additionally injected into recovery (multi-crash).
+    pub recovery_crashes: u64,
+    /// Injections whose recovery or check failed.
+    pub failures: u64,
+    /// The first failure, shrunk to a minimal reproducer.
+    pub first_failure: Option<FailureReport>,
+}
+
+impl CellReport {
+    /// `true` if the cell survived every injection.
+    pub fn passed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Mixes the base seed with the cell identity (FNV-1a over the names), so
+/// each cell owns an independent, worker-count-independent stream.
+fn cell_seed(seed: u64, cell: FuzzCell) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in cell.structure.name().bytes().chain([0u8]).chain(cell.model.name().bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Applies a recovery script's writes (barriers are ordering-only).
+fn apply_script(mut image: MemoryImage, script: &[RecoveryStep]) -> MemoryImage {
+    for step in script {
+        if let RecoveryStep::Write { addr, value } = step {
+            image.write_u64(*addr, *value).expect("recovery write in range");
+        }
+    }
+    image
+}
+
+/// Replays a recovery script through a fresh shadow over `base`, giving
+/// the event stream a second crash can be injected into.
+fn record_recovery(base: &MemoryImage, script: &[RecoveryStep]) -> Recording {
+    let mut s = ShadowPmem::with_base(base.clone());
+    for step in script {
+        match step {
+            RecoveryStep::Write { addr, value } => {
+                s.store_u64(*addr, *value);
+                s.flush(*addr, 8);
+            }
+            RecoveryStep::Barrier => s.fence(),
+        }
+    }
+    s.into_recording()
+}
+
+/// Runs first-crash recovery + checks. On success returns the pre-recovery
+/// image and the script (the inputs a second crash needs).
+fn eval_first(
+    target: &dyn FuzzTarget,
+    rec: &Recording,
+    frags: &FragmentSet,
+    model: Model,
+    case: &CrashCase,
+) -> Result<(MemoryImage, Vec<RecoveryStep>), String> {
+    let img = frags.materialize(&rec.base, model, case);
+    let (completed, begun) = rec.ops_at(case.point);
+    let script = target
+        .recovery_script(&img)
+        .map_err(|e| format!("recovery rejected the image: {e}"))?;
+    let recovered = apply_script(img.clone(), &script);
+    target.check(&recovered, completed, begun)?;
+    Ok((img, script))
+}
+
+/// Runs the second-crash leg: materialize the mid-recovery image, run
+/// recovery *again* on it, check against the original op history.
+fn eval_second(
+    target: &dyn FuzzTarget,
+    frags2: &FragmentSet,
+    base: &MemoryImage,
+    model: Model,
+    case2: &CrashCase,
+    completed: u64,
+    begun: u64,
+) -> Result<(), String> {
+    let img2 = frags2.materialize(base, model, case2);
+    let script2 = target
+        .recovery_script(&img2)
+        .map_err(|e| format!("re-recovery rejected the image: {e}"))?;
+    let recovered = apply_script(img2, &script2);
+    target.check(&recovered, completed, begun)
+}
+
+/// Fuzzes one cell. Deterministic for a fixed `cfg` and `cell`.
+pub fn run_cell(cfg: &FuzzConfig, cell: FuzzCell) -> CellReport {
+    let target = cell.structure.target();
+    let mut shadow = ShadowPmem::new();
+    target.run(&mut shadow, cfg.ops);
+    let rec = shadow.into_recording();
+    let frags = FragmentSet::build(&rec, AtomicPersistSize::default());
+    let model = cell.model;
+    let points = rec.events.len() as u64 + 1;
+
+    let mut rng = SmallRng::seed_from_u64(cell_seed(cfg.seed, cell));
+    let mut failures = 0u64;
+    let mut recovery_crashes = 0u64;
+    let mut first_failure: Option<FailureReport> = None;
+
+    for i in 0..cfg.injections {
+        // Even injections sweep crash points systematically; odd ones are
+        // random, as are all survivor draws.
+        let point = if i % 2 == 0 {
+            ((i / 2) % points) as usize
+        } else {
+            rng.gen_below(points) as usize
+        };
+        let case = frags.draw(model, point, &mut rng, cfg.torn);
+
+        match eval_first(target.as_ref(), &rec, &frags, model, &case) {
+            Err(_) => {
+                failures += 1;
+                if first_failure.is_none() {
+                    let shrunk = frags.shrink(model, &case, |c| {
+                        eval_first(target.as_ref(), &rec, &frags, model, c).is_err()
+                    });
+                    let message = eval_first(target.as_ref(), &rec, &frags, model, &shrunk)
+                        .expect_err("shrunk case still fails");
+                    first_failure = Some(FailureReport {
+                        injection: i,
+                        crash_point: shrunk.point,
+                        second_crash_point: None,
+                        during_recovery: false,
+                        dropped_lines: frags.dropped_lines(model, &shrunk),
+                        message,
+                    });
+                }
+            }
+            Ok((img, script)) if cfg.multi_crash && !script.is_empty() => {
+                recovery_crashes += 1;
+                let rec2 = record_recovery(&img, &script);
+                let frags2 = FragmentSet::build(&rec2, AtomicPersistSize::default());
+                let (completed, begun) = rec.ops_at(case.point);
+                let p2 = rng.gen_below(rec2.events.len() as u64 + 1) as usize;
+                let case2 = frags2.draw(model, p2, &mut rng, cfg.torn);
+                if let Err(_) =
+                    eval_second(target.as_ref(), &frags2, &img, model, &case2, completed, begun)
+                {
+                    failures += 1;
+                    if first_failure.is_none() {
+                        // Shrink the recovery crash with the first crash fixed.
+                        let shrunk2 = frags2.shrink(model, &case2, |c2| {
+                            eval_second(
+                                target.as_ref(),
+                                &frags2,
+                                &img,
+                                model,
+                                c2,
+                                completed,
+                                begun,
+                            )
+                            .is_err()
+                        });
+                        let message = eval_second(
+                            target.as_ref(),
+                            &frags2,
+                            &img,
+                            model,
+                            &shrunk2,
+                            completed,
+                            begun,
+                        )
+                        .expect_err("shrunk recovery crash still fails");
+                        first_failure = Some(FailureReport {
+                            injection: i,
+                            crash_point: case.point,
+                            second_crash_point: Some(shrunk2.point),
+                            during_recovery: true,
+                            dropped_lines: frags2.dropped_lines(model, &shrunk2),
+                            message,
+                        });
+                    }
+                }
+            }
+            Ok(_) => {}
+        }
+    }
+
+    CellReport {
+        structure: cell.structure.name(),
+        model: model.name(),
+        events: rec.events.len(),
+        injections: cfg.injections,
+        recovery_crashes,
+        failures,
+        first_failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg_ops: u64, injections: u64, structure: Structure, model: Model) -> CellReport {
+        let cfg = FuzzConfig { ops: cfg_ops, injections, ..FuzzConfig::default() };
+        run_cell(&cfg, FuzzCell { structure, model })
+    }
+
+    #[test]
+    fn stock_cwl_survives_epoch_smoke() {
+        let r = quick(8, 120, Structure::Cwl, Model::Epoch);
+        assert!(r.passed(), "{:?}", r.first_failure);
+        assert_eq!(r.recovery_crashes, 0, "queue recovery is read-only");
+    }
+
+    #[test]
+    fn elided_cwl_is_caught_under_epoch_and_survives_strict() {
+        let r = quick(8, 120, Structure::CwlElided, Model::Epoch);
+        assert!(!r.passed(), "elided barrier must be caught");
+        let f = r.first_failure.expect("failure is reported");
+        assert!(!f.dropped_lines.is_empty());
+        let r = quick(8, 120, Structure::CwlElided, Model::Strict);
+        assert!(r.passed(), "global store order protects the elided queue: {:?}", r.first_failure);
+    }
+
+    #[test]
+    fn txn_exercises_multi_crash() {
+        let r = quick(6, 120, Structure::Txn, Model::Epoch);
+        assert!(r.passed(), "{:?}", r.first_failure);
+        assert!(r.recovery_crashes > 0, "rollback scripts must be re-crashed");
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let a = quick(8, 60, Structure::Kv, Model::Strand);
+        let b = quick(8, 60, Structure::Kv, Model::Strand);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,707 @@
+//! Model-aware crash injection over a [`Recording`].
+//!
+//! A recorded store is split into per-cache-line [`Fragment`]s. At a crash
+//! point `p` (an index into the event log: events `0..p` executed), every
+//! fragment is in one of three states:
+//!
+//! - **unwritten** — its store lies at or after `p`;
+//! - **durable** — the model's durability rule was satisfied before `p`
+//!   (see below); the fragment is guaranteed to survive;
+//! - **pending** — written but not guaranteed; the crash may keep or drop
+//!   it, subject to the model's ordering constraints.
+//!
+//! Durability rules: under epoch, BPFS and strand persistency a fragment
+//! is durable once a *flush* covering its line (issued after the store)
+//! has been followed by a *fence* — for strand, a fence on the same strand
+//! as the flush. Under strict and strict-RMO persistency the ISA has no
+//! flush; we read the backend's fence as the model's sync point, so a
+//! fragment is durable once any fence follows its store.
+//!
+//! Drop rules for pending fragments (what [`FragmentSet::draw`] samples
+//! and [`FragmentSet::is_legal`] admits):
+//!
+//! - **strict** — persists happen in store order, so the survivors are a
+//!   prefix of the pending fragments in sequence order.
+//! - **strict-rmo** — same-thread store order is only enforced across
+//!   memory barriers; absent those, per-line order survives (strong
+//!   persist atomicity) but lines are mutually unordered: an independent
+//!   sequence-prefix per cache line.
+//! - **epoch** — fences delimit epochs; persists of epoch `e` all happen
+//!   before any persist of epoch `e' > e`. Survivors are epoch-downward
+//!   closed: everything below a boundary epoch survives, an arbitrary
+//!   subset of the boundary epoch survives, everything above is dropped.
+//! - **bpfs** — epoch ordering is enforced per cache line (the BPFS
+//!   commit protocol orders epochs through the line it touches): modeled
+//!   as per-line prefixes, as strict-rmo.
+//! - **strand** — the epoch rule applies within each strand
+//!   independently; fragments on different strands are unordered.
+//!
+//! With torn persists enabled, fragments at the drop boundary (the last
+//! survivor under a prefix rule; boundary-epoch members under an epoch
+//! rule) may additionally persist only a subset of their
+//! [`AtomicPersistSize`] units — the same granularity knob the `nvram`
+//! wear model sweeps. Fragments *below* the boundary cannot tear: the
+//! fence that ordered them ahead of surviving persists guaranteed all
+//! their units.
+
+use crate::shadow::{Recording, ShadowEvent};
+use mem_trace::rng::SmallRng;
+use persist_mem::{AtomicPersistSize, MemAddr, MemoryImage, CACHE_LINE_BYTES};
+use persistency::Model;
+
+/// A store restricted to one cache line.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Index of the originating `Store` event.
+    pub event: usize,
+    /// Fragment start address.
+    pub addr: MemAddr,
+    /// Fragment bytes.
+    pub data: Vec<u8>,
+    /// Cache line (persistent offset / line size).
+    pub line: u64,
+    /// Global fence count at the store (epoch id).
+    pub epoch: u32,
+    /// Strand id at the store.
+    pub strand: u32,
+    /// Fence count within the strand at the store.
+    pub strand_epoch: u32,
+    /// First event index whose execution makes the fragment durable under
+    /// a fence-only rule (strict, strict-rmo).
+    durable_fence: Option<usize>,
+    /// Same under the flush-then-fence rule (epoch, bpfs).
+    durable_flush_fence: Option<usize>,
+    /// Same with the fence required on the flush's strand (strand).
+    durable_strand: Option<usize>,
+}
+
+impl Fragment {
+    /// The event index after which this fragment is guaranteed durable
+    /// under `model`, if any.
+    pub fn durable_at(&self, model: Model) -> Option<usize> {
+        match model {
+            Model::Strict | Model::StrictRmo => self.durable_fence,
+            Model::Epoch | Model::Bpfs => self.durable_flush_fence,
+            Model::Strand => self.durable_strand,
+            _ => self.durable_flush_fence,
+        }
+    }
+
+    /// Number of atomic-persist units the fragment spans.
+    pub fn units(&self, unit: u64) -> u32 {
+        self.data.len().div_ceil(unit as usize) as u32
+    }
+}
+
+/// A surviving pending fragment, possibly torn to a subset of its units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Survivor {
+    /// Index into [`FragmentSet::fragments`].
+    pub frag: usize,
+    /// Bit `i` set = unit `i` (fragment-relative) persisted.
+    pub unit_mask: u64,
+}
+
+/// A concrete injected crash: how far execution got, and which pending
+/// fragments the NVRAM kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashCase {
+    /// Events executed before the crash.
+    pub point: usize,
+    /// Kept pending fragments (everything durable survives implicitly;
+    /// every pending fragment absent here is dropped).
+    pub survivors: Vec<Survivor>,
+}
+
+/// The per-line fragments of a recording, with durability metadata.
+#[derive(Debug, Clone)]
+pub struct FragmentSet {
+    frags: Vec<Fragment>,
+    events_len: usize,
+    unit: u64,
+}
+
+impl FragmentSet {
+    /// Splits every store of `rec` into line fragments and computes the
+    /// per-model durability points. `unit` is the atomic persist size for
+    /// torn-write modeling.
+    pub fn build(rec: &Recording, unit: AtomicPersistSize) -> Self {
+        let line_sz = CACHE_LINE_BYTES;
+        // Tag every event with (epoch, strand, strand_epoch).
+        let mut tags = Vec::with_capacity(rec.events.len());
+        let (mut epoch, mut strand, mut strand_epoch) = (0u32, 0u32, 0u32);
+        for e in &rec.events {
+            tags.push((epoch, strand, strand_epoch));
+            match e {
+                ShadowEvent::Fence => {
+                    epoch += 1;
+                    strand_epoch += 1;
+                }
+                ShadowEvent::Strand => {
+                    strand += 1;
+                    strand_epoch = 0;
+                }
+                _ => {}
+            }
+        }
+
+        let mut frags = Vec::new();
+        for (idx, e) in rec.events.iter().enumerate() {
+            let ShadowEvent::Store { addr, data } = e else { continue };
+            let (epoch, strand, strand_epoch) = tags[idx];
+            let mut off = 0usize;
+            while off < data.len() {
+                let a = addr.add(off as u64);
+                let line = a.offset() / line_sz;
+                let line_end = (line + 1) * line_sz;
+                let take = ((line_end - a.offset()) as usize).min(data.len() - off);
+                frags.push(Fragment {
+                    event: idx,
+                    addr: a,
+                    data: data[off..off + take].to_vec(),
+                    line,
+                    epoch,
+                    strand,
+                    strand_epoch,
+                    durable_fence: None,
+                    durable_flush_fence: None,
+                    durable_strand: None,
+                });
+                off += take;
+            }
+        }
+
+        // Durability scans (event counts are small; clarity over big-O).
+        for f in &mut frags {
+            let mut covered: Option<u32> = None; // strand of the last covering flush
+            for (i, e) in rec.events.iter().enumerate().skip(f.event + 1) {
+                match e {
+                    ShadowEvent::Flush { addr, len } => {
+                        let lo = addr.offset() / line_sz;
+                        let hi = (addr.offset() + (*len).max(1) - 1) / line_sz;
+                        if (lo..=hi).contains(&f.line) {
+                            covered = Some(tags[i].1);
+                        }
+                    }
+                    ShadowEvent::Fence => {
+                        if f.durable_fence.is_none() {
+                            f.durable_fence = Some(i);
+                        }
+                        if let Some(fl_strand) = covered {
+                            if f.durable_flush_fence.is_none() {
+                                f.durable_flush_fence = Some(i);
+                            }
+                            if f.durable_strand.is_none() && tags[i].1 == fl_strand {
+                                f.durable_strand = Some(i);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if f.durable_fence.is_some()
+                    && f.durable_flush_fence.is_some()
+                    && f.durable_strand.is_some()
+                {
+                    break;
+                }
+            }
+        }
+
+        FragmentSet { frags, events_len: rec.events.len(), unit: unit.bytes() }
+    }
+
+    /// All fragments, in store (sequence) order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.frags
+    }
+
+    /// Number of events in the underlying recording (crash points range
+    /// over `0..=events_len`).
+    pub fn events_len(&self) -> usize {
+        self.events_len
+    }
+
+    /// The atomic persist unit used for torn-write masks.
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+
+    fn is_durable(&self, i: usize, model: Model, point: usize) -> bool {
+        self.frags[i].durable_at(model).is_some_and(|e| e < point)
+    }
+
+    /// Indices of fragments pending (written, not durable) at `point`.
+    pub fn pending(&self, model: Model, point: usize) -> Vec<usize> {
+        (0..self.frags.len())
+            .filter(|&i| self.frags[i].event < point && !self.is_durable(i, model, point))
+            .collect()
+    }
+
+    fn full_mask(&self, i: usize) -> u64 {
+        let n = self.frags[i].units(self.unit);
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Samples a crash case at `point`: a legal survivor subset of the
+    /// pending fragments under `model`, optionally with torn boundary
+    /// fragments.
+    pub fn draw(&self, model: Model, point: usize, rng: &mut SmallRng, torn: bool) -> CrashCase {
+        let pending = self.pending(model, point);
+        let mut survivors = Vec::new();
+        let keep_full = |survivors: &mut Vec<Survivor>, i: usize| {
+            survivors.push(Survivor { frag: i, unit_mask: self.full_mask(i) });
+        };
+        // Keeps a boundary fragment with a random (possibly partial) mask.
+        let keep_boundary = |survivors: &mut Vec<Survivor>, i: usize, rng: &mut SmallRng| {
+            let full = self.full_mask(i);
+            let mask = if torn && rng.gen_below(4) == 0 { rng.next_u64() & full } else { full };
+            if mask != 0 {
+                survivors.push(Survivor { frag: i, unit_mask: mask });
+            }
+        };
+
+        match model {
+            Model::Strict => {
+                let k = rng.gen_below(pending.len() as u64 + 1) as usize;
+                for (n, &i) in pending.iter().take(k).enumerate() {
+                    if n + 1 == k {
+                        keep_boundary(&mut survivors, i, rng);
+                    } else {
+                        keep_full(&mut survivors, i);
+                    }
+                }
+            }
+            Model::StrictRmo | Model::Bpfs => {
+                // Independent prefix per line.
+                let mut lines: Vec<u64> = pending.iter().map(|&i| self.frags[i].line).collect();
+                lines.sort_unstable();
+                lines.dedup();
+                for line in lines {
+                    let of_line: Vec<usize> = pending
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.frags[i].line == line)
+                        .collect();
+                    let k = rng.gen_below(of_line.len() as u64 + 1) as usize;
+                    for (n, &i) in of_line.iter().take(k).enumerate() {
+                        if n + 1 == k {
+                            keep_boundary(&mut survivors, i, rng);
+                        } else {
+                            keep_full(&mut survivors, i);
+                        }
+                    }
+                }
+            }
+            Model::Epoch => {
+                self.draw_epochwise(&pending, |i| self.frags[i].epoch, rng, &mut survivors, torn);
+            }
+            Model::Strand => {
+                let mut strands: Vec<u32> = pending.iter().map(|&i| self.frags[i].strand).collect();
+                strands.sort_unstable();
+                strands.dedup();
+                for s in strands {
+                    let of_strand: Vec<usize> = pending
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.frags[i].strand == s)
+                        .collect();
+                    self.draw_epochwise(
+                        &of_strand,
+                        |i| self.frags[i].strand_epoch,
+                        rng,
+                        &mut survivors,
+                        torn,
+                    );
+                }
+            }
+            _ => {
+                self.draw_epochwise(&pending, |i| self.frags[i].epoch, rng, &mut survivors, torn);
+            }
+        }
+        survivors.sort_unstable_by_key(|s| s.frag);
+        CrashCase { point, survivors }
+    }
+
+    /// Epoch-downward-closed draw over `pending` with epochs given by
+    /// `epoch_of`: pick a boundary epoch, keep everything below it, flip a
+    /// coin (and possibly tear) inside it, drop everything above.
+    fn draw_epochwise(
+        &self,
+        pending: &[usize],
+        epoch_of: impl Fn(usize) -> u32,
+        rng: &mut SmallRng,
+        survivors: &mut Vec<Survivor>,
+        torn: bool,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut epochs: Vec<u32> = pending.iter().map(|&i| epoch_of(i)).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        // One past the last = everything pending survives intact.
+        let c = rng.gen_index(epochs.len() + 1);
+        let boundary = epochs.get(c).copied();
+        for &i in pending {
+            let e = epoch_of(i);
+            match boundary {
+                None => survivors.push(Survivor { frag: i, unit_mask: self.full_mask(i) }),
+                Some(b) if e < b => {
+                    survivors.push(Survivor { frag: i, unit_mask: self.full_mask(i) })
+                }
+                Some(b) if e == b => {
+                    if rng.gen_below(2) == 0 {
+                        let full = self.full_mask(i);
+                        let mask = if torn && rng.gen_below(4) == 0 {
+                            rng.next_u64() & full
+                        } else {
+                            full
+                        };
+                        if mask != 0 {
+                            survivors.push(Survivor { frag: i, unit_mask: mask });
+                        }
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Whether `case` is a crash the model could actually produce.
+    pub fn is_legal(&self, model: Model, case: &CrashCase) -> bool {
+        if case.point > self.events_len {
+            return false;
+        }
+        let pending = self.pending(model, case.point);
+        let kept: std::collections::BTreeMap<usize, u64> =
+            case.survivors.iter().map(|s| (s.frag, s.unit_mask)).collect();
+        if kept.len() != case.survivors.len() {
+            return false; // duplicate fragment
+        }
+        for s in &case.survivors {
+            if !pending.contains(&s.frag) {
+                return false;
+            }
+            if s.unit_mask == 0 || s.unit_mask & !self.full_mask(s.frag) != 0 {
+                return false;
+            }
+        }
+
+        let prefix_ok = |group: &[usize]| -> bool {
+            // Survivors must be a prefix; only the last kept may be torn.
+            let mut seen_gap = false;
+            let mut last_kept: Option<usize> = None;
+            for &i in group {
+                match kept.get(&i) {
+                    Some(_) if seen_gap => return false,
+                    Some(_) => last_kept = Some(i),
+                    None => seen_gap = true,
+                }
+            }
+            for &i in group {
+                if let Some(&mask) = kept.get(&i) {
+                    if mask != self.full_mask(i) && Some(i) != last_kept {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        let epoch_ok = |group: &[usize], epoch_of: &dyn Fn(usize) -> u32| -> bool {
+            let Some(boundary) = group
+                .iter()
+                .filter(|i| kept.contains_key(i))
+                .map(|&i| epoch_of(i))
+                .max()
+            else {
+                return true; // nothing kept: dropping everything is legal
+            };
+            group.iter().all(|&i| {
+                let e = epoch_of(i);
+                match kept.get(&i) {
+                    Some(&mask) if e < boundary => mask == self.full_mask(i),
+                    None if e < boundary => false,
+                    _ => true, // boundary epoch: any subset / mask; above: dropped
+                }
+            })
+        };
+
+        match model {
+            Model::Strict => prefix_ok(&pending),
+            Model::StrictRmo | Model::Bpfs => {
+                let mut lines: Vec<u64> = pending.iter().map(|&i| self.frags[i].line).collect();
+                lines.sort_unstable();
+                lines.dedup();
+                lines.iter().all(|&l| {
+                    let group: Vec<usize> = pending
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.frags[i].line == l)
+                        .collect();
+                    prefix_ok(&group)
+                })
+            }
+            Model::Epoch => epoch_ok(&pending, &|i| self.frags[i].epoch),
+            Model::Strand => {
+                let mut strands: Vec<u32> = pending.iter().map(|&i| self.frags[i].strand).collect();
+                strands.sort_unstable();
+                strands.dedup();
+                strands.iter().all(|&s| {
+                    let group: Vec<usize> = pending
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.frags[i].strand == s)
+                        .collect();
+                    epoch_ok(&group, &|i| self.frags[i].strand_epoch)
+                })
+            }
+            _ => epoch_ok(&pending, &|i| self.frags[i].epoch),
+        }
+    }
+
+    /// Builds the post-crash image for `case`: the base image plus every
+    /// durable fragment plus the surviving units, applied in store order.
+    pub fn materialize(&self, base: &MemoryImage, model: Model, case: &CrashCase) -> MemoryImage {
+        let kept: std::collections::BTreeMap<usize, u64> =
+            case.survivors.iter().map(|s| (s.frag, s.unit_mask)).collect();
+        let mut img = base.clone();
+        for (i, f) in self.frags.iter().enumerate() {
+            if f.event >= case.point {
+                continue;
+            }
+            let mask = if self.is_durable(i, model, case.point) {
+                self.full_mask(i)
+            } else {
+                match kept.get(&i) {
+                    Some(&m) => m,
+                    None => continue,
+                }
+            };
+            let unit = self.unit as usize;
+            for u in 0..f.units(self.unit) {
+                if mask & (1 << u) == 0 {
+                    continue;
+                }
+                let lo = u as usize * unit;
+                let hi = (lo + unit).min(f.data.len());
+                img.write(f.addr.add(lo as u64), &f.data[lo..hi])
+                    .expect("materialized fragment in range");
+            }
+        }
+        img
+    }
+
+    /// Cache lines of pending fragments that `case` drops or tears.
+    pub fn dropped_lines(&self, model: Model, case: &CrashCase) -> Vec<u64> {
+        let kept: std::collections::BTreeMap<usize, u64> =
+            case.survivors.iter().map(|s| (s.frag, s.unit_mask)).collect();
+        let mut lines: Vec<u64> = self
+            .pending(model, case.point)
+            .into_iter()
+            .filter(|i| kept.get(i) != Some(&self.full_mask(*i)))
+            .map(|i| self.frags[i].line)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Shrinks a failing case: first to the earliest crash point that
+    /// still fails, then to the fewest dropped fragments. `still_fails`
+    /// is consulted only with cases that [`FragmentSet::is_legal`] admits.
+    pub fn shrink(
+        &self,
+        model: Model,
+        case: &CrashCase,
+        mut still_fails: impl FnMut(&CrashCase) -> bool,
+    ) -> CrashCase {
+        let mut best = case.clone();
+        // Phase 1: earliest failing crash point. Re-point the case by
+        // keeping, of everything that materialized at the original point,
+        // what is still pending at the earlier point.
+        for p in 0..best.point {
+            let survivors: Vec<Survivor> = self
+                .pending(model, p)
+                .into_iter()
+                .filter_map(|i| {
+                    if self.is_durable(i, model, best.point) {
+                        return Some(Survivor { frag: i, unit_mask: self.full_mask(i) });
+                    }
+                    best.survivors.iter().find(|s| s.frag == i).copied()
+                })
+                .collect();
+            let candidate = CrashCase { point: p, survivors };
+            if self.is_legal(model, &candidate) && still_fails(&candidate) {
+                best = candidate;
+                break;
+            }
+        }
+        // Phase 2: un-drop fragments whose loss the failure does not need.
+        let pending = self.pending(model, best.point);
+        for &i in &pending {
+            let full = self.full_mask(i);
+            if best.survivors.iter().any(|s| s.frag == i && s.unit_mask == full) {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.survivors.retain(|s| s.frag != i);
+            candidate.survivors.push(Survivor { frag: i, unit_mask: full });
+            candidate.survivors.sort_unstable_by_key(|s| s.frag);
+            if self.is_legal(model, &candidate) && still_fails(&candidate) {
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::ShadowPmem;
+    use persist_mem::PmemBackend;
+
+    /// store A; flush A; fence; store B (pending at end).
+    fn simple_recording() -> Recording {
+        let mut s = ShadowPmem::new();
+        s.store_u64(MemAddr::persistent(0), 1);
+        s.persist(MemAddr::persistent(0), 8);
+        s.store_u64(MemAddr::persistent(64), 2);
+        s.into_recording()
+    }
+
+    #[test]
+    fn durability_rules() {
+        let rec = simple_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        assert_eq!(fs.fragments().len(), 2);
+        // After all 4 events: A durable under every model, B pending.
+        for model in Model::ALL {
+            assert_eq!(fs.pending(model, 4), vec![1], "{model}");
+        }
+        // Before the fence (point 2) nothing is durable.
+        assert_eq!(fs.pending(Model::Epoch, 2), vec![0]);
+        // Strict's fence-only rule also needs the fence executed.
+        assert_eq!(fs.pending(Model::Strict, 2), vec![0]);
+    }
+
+    #[test]
+    fn strict_draw_is_prefix() {
+        let mut s = ShadowPmem::new();
+        for i in 0..4u64 {
+            s.store_u64(MemAddr::persistent(i * 64), i);
+        }
+        let rec = s.into_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let case = fs.draw(Model::Strict, 4, &mut rng, false);
+            assert!(fs.is_legal(Model::Strict, &case));
+            // Prefix property: kept indices are contiguous from 0.
+            let idx: Vec<usize> = case.survivors.iter().map(|s| s.frag).collect();
+            assert_eq!(idx, (0..idx.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn epoch_draw_is_downward_closed() {
+        let mut s = ShadowPmem::new();
+        s.store_u64(MemAddr::persistent(0), 1); // epoch 0
+        s.fence();
+        s.store_u64(MemAddr::persistent(64), 2); // epoch 1
+        s.fence();
+        s.store_u64(MemAddr::persistent(128), 3); // epoch 2
+        let rec = s.into_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        // No flushes at all: everything stays pending under epoch rules.
+        for _ in 0..200 {
+            let case = fs.draw(Model::Epoch, 5, &mut rng, false);
+            assert!(fs.is_legal(Model::Epoch, &case));
+            let kept: Vec<usize> = case.survivors.iter().map(|s| s.frag).collect();
+            if kept.contains(&2) {
+                assert!(kept.contains(&1) && kept.contains(&0), "not closed: {kept:?}");
+            }
+            if kept.contains(&1) {
+                assert!(kept.contains(&0), "not closed: {kept:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_applies_durable_and_survivors() {
+        let rec = simple_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        let a = MemAddr::persistent(0);
+        let b = MemAddr::persistent(64);
+        // Drop the pending store entirely.
+        let img = fs.materialize(&rec.base, Model::Epoch, &CrashCase { point: 4, survivors: vec![] });
+        assert_eq!(img.read_u64(a).unwrap(), 1);
+        assert_eq!(img.read_u64(b).unwrap(), 0);
+        // Keep it.
+        let case = CrashCase { point: 4, survivors: vec![Survivor { frag: 1, unit_mask: 1 }] };
+        let img = fs.materialize(&rec.base, Model::Epoch, &case);
+        assert_eq!(img.read_u64(b).unwrap(), 2);
+    }
+
+    #[test]
+    fn torn_masks_apply_partial_units() {
+        let mut s = ShadowPmem::new();
+        s.store(MemAddr::persistent(0), &[0xAA; 16]); // 2 units in one line
+        let rec = s.into_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        let case = CrashCase { point: 1, survivors: vec![Survivor { frag: 0, unit_mask: 0b10 }] };
+        assert!(fs.is_legal(Model::Strict, &case));
+        let img = fs.materialize(&rec.base, Model::Strict, &case);
+        assert_eq!(img.read_u64(MemAddr::persistent(0)).unwrap(), 0);
+        assert_eq!(img.read_u64(MemAddr::persistent(8)).unwrap(), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(fs.dropped_lines(Model::Strict, &case), vec![0]);
+    }
+
+    #[test]
+    fn illegal_cases_are_rejected() {
+        let mut s = ShadowPmem::new();
+        s.store_u64(MemAddr::persistent(0), 1);
+        s.store_u64(MemAddr::persistent(64), 2);
+        let rec = s.into_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        // Keeping the later store while dropping the earlier breaks
+        // strict's prefix rule but is fine under strict-rmo (two lines).
+        let case = CrashCase { point: 2, survivors: vec![Survivor { frag: 1, unit_mask: 1 }] };
+        assert!(!fs.is_legal(Model::Strict, &case));
+        assert!(fs.is_legal(Model::StrictRmo, &case));
+    }
+
+    #[test]
+    fn shrink_finds_minimal_point_and_drops() {
+        // Failure condition: B's line (line 1) dropped while C's (line 2)
+        // survived — needs C kept and B dropped; A is irrelevant.
+        let mut s = ShadowPmem::new();
+        s.store_u64(MemAddr::persistent(0), 1); // A, line 0
+        s.store_u64(MemAddr::persistent(64), 2); // B, line 1
+        s.store_u64(MemAddr::persistent(128), 3); // C, line 2
+        let rec = s.into_recording();
+        let fs = FragmentSet::build(&rec, AtomicPersistSize::default());
+        let base = rec.base.clone();
+        let fails = |case: &CrashCase| {
+            let img = fs.materialize(&base, Model::StrictRmo, case);
+            img.read_u64(MemAddr::persistent(128)).unwrap() == 3
+                && img.read_u64(MemAddr::persistent(64)).unwrap() == 0
+        };
+        let all_dropped_but_c = CrashCase {
+            point: 3,
+            survivors: vec![Survivor { frag: 2, unit_mask: 1 }],
+        };
+        assert!(fails(&all_dropped_but_c));
+        let shrunk = fs.shrink(Model::StrictRmo, &all_dropped_but_c, fails);
+        assert_eq!(shrunk.point, 3, "C's store must have executed");
+        // A was un-dropped (irrelevant to the failure); B stays dropped.
+        assert!(shrunk.survivors.iter().any(|s| s.frag == 0));
+        assert!(!shrunk.survivors.iter().any(|s| s.frag == 1));
+        assert_eq!(fs.dropped_lines(Model::StrictRmo, &shrunk), vec![1]);
+    }
+}

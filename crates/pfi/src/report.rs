@@ -1,0 +1,118 @@
+//! JSON rendering of crash-fuzz results (schema `pfi_crash_fuzz_v1`).
+//!
+//! Hand-rolled like the rest of the workspace's reporting (no serde in
+//! the dependency closure). The report is self-contained: configuration,
+//! overall verdict, and one object per cell with its shrunk first
+//! failure, so CI can archive a single artifact.
+
+use crate::fuzz::{CellReport, FuzzConfig};
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `true` if every cell passed.
+pub fn all_passed(cells: &[CellReport]) -> bool {
+    cells.iter().all(CellReport::passed)
+}
+
+/// Renders a full crash-fuzz report as pretty-printed JSON.
+pub fn render(cfg: &FuzzConfig, cells: &[CellReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pfi_crash_fuzz_v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"ops\": {}, \"injections\": {}, \"seed\": {}, \"multi_crash\": {}, \"torn\": {}}},\n",
+        cfg.ops, cfg.injections, cfg.seed, cfg.multi_crash, cfg.torn
+    ));
+    out.push_str(&format!("  \"pass\": {},\n", all_passed(cells)));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"model\": \"{}\", \"events\": {}, \"injections\": {}, \"recovery_crashes\": {}, \"failures\": {}, \"first_failure\": ",
+            esc(c.structure), esc(c.model), c.events, c.injections, c.recovery_crashes, c.failures
+        ));
+        match &c.first_failure {
+            None => out.push_str("null"),
+            Some(f) => {
+                let lines = f
+                    .dropped_lines
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let second = f
+                    .second_crash_point
+                    .map_or("null".to_string(), |p| p.to_string());
+                out.push_str(&format!(
+                    "{{\"injection\": {}, \"crash_point\": {}, \"second_crash_point\": {}, \"during_recovery\": {}, \"dropped_lines\": [{}], \"message\": \"{}\"}}",
+                    f.injection, f.crash_point, second, f.during_recovery, lines, esc(&f.message)
+                ));
+            }
+        }
+        out.push('}');
+        if i + 1 < cells.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::FailureReport;
+
+    #[test]
+    fn renders_pass_and_failure_cells() {
+        let cells = vec![
+            CellReport {
+                structure: "cwl",
+                model: "strict",
+                events: 10,
+                injections: 5,
+                recovery_crashes: 0,
+                failures: 0,
+                first_failure: None,
+            },
+            CellReport {
+                structure: "cwl-elided",
+                model: "epoch",
+                events: 10,
+                injections: 5,
+                recovery_crashes: 0,
+                failures: 2,
+                first_failure: Some(FailureReport {
+                    injection: 1,
+                    crash_point: 7,
+                    second_crash_point: None,
+                    during_recovery: false,
+                    dropped_lines: vec![1, 2],
+                    message: "entry \"lost\"".into(),
+                }),
+            },
+        ];
+        let json = render(&FuzzConfig::default(), &cells);
+        assert!(json.contains("\"pass\": false"));
+        assert!(json.contains("\"dropped_lines\": [1, 2]"));
+        assert!(json.contains("entry \\\"lost\\\""));
+        assert!(!all_passed(&cells));
+        // Minimal structural sanity: braces balance.
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+}

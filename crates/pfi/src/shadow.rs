@@ -1,0 +1,182 @@
+//! The shadow-NVRAM backend: records every persistence event.
+//!
+//! [`ShadowPmem`] implements [`PmemBackend`] by keeping two images — the
+//! *base* (contents guaranteed durable before the run started) and the
+//! *cache* (what loads observe, i.e. every store applied) — plus an ordered
+//! log of [`ShadowEvent`]s. Nothing is dropped while the workload runs;
+//! crash injection happens afterwards, on the [`Recording`], by choosing
+//! which logged stores survive (see [`crate::inject`]).
+//!
+//! Workloads bracket logical operations with [`ShadowPmem::op_begin`] /
+//! [`ShadowPmem::op_end`] so the injector can compute, for any crash
+//! point, how many operations had completed and how many were in flight —
+//! the inputs to the linearizable-prefix durability check.
+
+use persist_mem::{MemAddr, MemoryImage, PmemBackend};
+
+/// One logged persistence event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShadowEvent {
+    /// A store of `data` at `addr` (persistent space).
+    Store {
+        /// Destination address.
+        addr: MemAddr,
+        /// Bytes written.
+        data: Vec<u8>,
+    },
+    /// A cache-line flush request covering `[addr, addr + len)`.
+    Flush {
+        /// Start of the flushed range.
+        addr: MemAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// A persist fence.
+    Fence,
+    /// A strand barrier (`NewStrand`).
+    Strand,
+    /// A logical operation with the given id began.
+    OpBegin(u64),
+    /// A logical operation with the given id completed.
+    OpEnd(u64),
+}
+
+/// A [`PmemBackend`] that records instead of forgetting.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowPmem {
+    base: MemoryImage,
+    cache: MemoryImage,
+    events: Vec<ShadowEvent>,
+}
+
+impl ShadowPmem {
+    /// A shadow over all-zero persistent memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shadow whose durable floor is `image` — used to re-crash
+    /// *recovery* itself, which starts from a post-crash image.
+    pub fn with_base(image: MemoryImage) -> Self {
+        ShadowPmem { cache: image.clone(), base: image, events: Vec::new() }
+    }
+
+    /// Marks the start of logical operation `id`.
+    pub fn op_begin(&mut self, id: u64) {
+        self.events.push(ShadowEvent::OpBegin(id));
+    }
+
+    /// Marks the completion of logical operation `id`.
+    pub fn op_end(&mut self, id: u64) {
+        self.events.push(ShadowEvent::OpEnd(id));
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes recording.
+    pub fn into_recording(self) -> Recording {
+        Recording { base: self.base, events: self.events, final_image: self.cache }
+    }
+}
+
+impl PmemBackend for ShadowPmem {
+    fn load(&mut self, addr: MemAddr, buf: &mut [u8]) {
+        self.cache.read(addr, buf).expect("shadow load in range");
+    }
+
+    fn store(&mut self, addr: MemAddr, data: &[u8]) {
+        assert!(
+            addr.is_persistent(),
+            "shadow backend tracks the persistent space; keep volatile state in plain variables"
+        );
+        self.cache.write(addr, data).expect("shadow store in range");
+        self.events.push(ShadowEvent::Store { addr, data: data.to_vec() });
+    }
+
+    fn flush(&mut self, addr: MemAddr, len: u64) {
+        self.events.push(ShadowEvent::Flush { addr, len });
+    }
+
+    fn fence(&mut self) {
+        self.events.push(ShadowEvent::Fence);
+    }
+
+    fn strand(&mut self) {
+        self.events.push(ShadowEvent::Strand);
+    }
+}
+
+/// A completed shadow run: durable floor, event log, crash-free outcome.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Contents durable before the run started.
+    pub base: MemoryImage,
+    /// Every persistence event, in execution order.
+    pub events: Vec<ShadowEvent>,
+    /// The image a crash-free run leaves behind (all stores applied).
+    pub final_image: MemoryImage,
+}
+
+impl Recording {
+    /// Operations completed (`OpEnd` seen) before event index `point`, and
+    /// operations begun. `begun - completed` operations are in flight at a
+    /// crash at `point`.
+    pub fn ops_at(&self, point: usize) -> (u64, u64) {
+        let mut completed = 0;
+        let mut begun = 0;
+        for e in &self.events[..point.min(self.events.len())] {
+            match e {
+                ShadowEvent::OpBegin(_) => begun += 1,
+                ShadowEvent::OpEnd(_) => completed += 1,
+                _ => {}
+            }
+        }
+        (completed, begun)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_replays_stores() {
+        let mut s = ShadowPmem::new();
+        let a = MemAddr::persistent(64);
+        s.op_begin(0);
+        s.store_u64(a, 7);
+        s.persist(a, 8);
+        s.op_end(0);
+        assert_eq!(s.load_u64(a), 7);
+        let rec = s.into_recording();
+        assert_eq!(rec.events.len(), 5); // begin, store, flush, fence, end
+        assert_eq!(rec.final_image.read_u64(a).unwrap(), 7);
+        assert_eq!(rec.base.read_u64(a).unwrap(), 0);
+        assert_eq!(rec.ops_at(5), (1, 1));
+        assert_eq!(rec.ops_at(2), (0, 1));
+    }
+
+    #[test]
+    fn with_base_starts_from_image() {
+        let mut img = MemoryImage::new();
+        img.write_u64(MemAddr::persistent(0), 3).unwrap();
+        let mut s = ShadowPmem::with_base(img);
+        assert_eq!(s.load_u64(MemAddr::persistent(0)), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent space")]
+    fn volatile_stores_are_rejected() {
+        let mut s = ShadowPmem::new();
+        s.store_u64(MemAddr::volatile(0), 1);
+    }
+}

@@ -15,7 +15,7 @@
 //! use [`crate::txn::UndoLog`] for atomic multi-word updates).
 
 use mem_trace::{Scheduler, ThreadCtx, TracedMem};
-use persist_mem::{MemAddr, MemoryImage, CACHE_LINE_BYTES};
+use persist_mem::{MemAddr, MemoryImage, PmemBackend, CACHE_LINE_BYTES};
 
 /// Bucket states.
 const EMPTY: u64 = 0;
@@ -84,6 +84,22 @@ impl PersistentKv {
             .setup_alloc(buckets * CACHE_LINE_BYTES, CACHE_LINE_BYTES)
             .expect("kv table allocation");
         PersistentKv { base, buckets }
+    }
+
+    /// Places a table at a fixed persistent address (no traced allocator),
+    /// for use with the [`PmemBackend`] methods. `buckets` is rounded up
+    /// to a power of two; the table occupies
+    /// `buckets * CACHE_LINE_BYTES` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero, `base` is not persistent, or `base` is
+    /// not cache-line aligned.
+    pub fn from_raw(base: MemAddr, buckets: u64) -> Self {
+        assert!(buckets > 0, "table needs at least one bucket");
+        assert!(base.is_persistent(), "kv table lives in the persistent space");
+        assert_eq!(base.offset() % CACHE_LINE_BYTES, 0, "table base must be line aligned");
+        PersistentKv { base, buckets: buckets.next_power_of_two() }
     }
 
     /// Number of bucket slots.
@@ -172,6 +188,87 @@ impl PersistentKv {
                         ctx.persist_barrier();
                         return true;
                     }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// [`PersistentKv::put`] over an interposable persistence backend:
+    /// identical protocol, with the persist barriers realized as
+    /// flush + fence of the bucket line. Used by the `pfi` fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is zero or the table is full.
+    pub fn put_pmem<B: PmemBackend>(&self, mem: &mut B, key: u64, value: u64) {
+        assert_ne!(key, 0, "keys must be nonzero");
+        mem.strand(); // each operation is its own strand
+        let start = self.probe_start(key);
+        for p in 0..self.buckets {
+            let b = self.bucket(start + p);
+            let state = mem.load_u64(b.add(STATE));
+            if state == VALID || state == DIRTY {
+                if mem.load_u64(b.add(KEY)) != key {
+                    continue;
+                }
+                // In-place update through invalidate → write → publish.
+                mem.store_u64(b.add(STATE), DIRTY);
+                mem.persist(b, CACHE_LINE_BYTES); // invalidation before new bytes
+                mem.store_u64(b.add(VALUE), value);
+                mem.store_u64(b.add(CKSUM), checksum(key, value));
+                mem.persist(b, CACHE_LINE_BYTES); // new bytes before re-publish
+                mem.store_u64(b.add(STATE), VALID);
+                mem.persist(b, CACHE_LINE_BYTES);
+                return;
+            }
+            if state == EMPTY {
+                // Fresh publish: payload first, then the valid flag.
+                mem.store_u64(b.add(KEY), key);
+                mem.store_u64(b.add(VALUE), value);
+                mem.store_u64(b.add(CKSUM), checksum(key, value));
+                mem.persist(b, CACHE_LINE_BYTES); // payload before the flag
+                mem.store_u64(b.add(STATE), VALID);
+                mem.persist(b, CACHE_LINE_BYTES);
+                return;
+            }
+        }
+        panic!("persistent kv table is full");
+    }
+
+    /// [`PersistentKv::get`] over an interposable persistence backend.
+    pub fn get_pmem<B: PmemBackend>(&self, mem: &mut B, key: u64) -> Option<u64> {
+        let start = self.probe_start(key);
+        for p in 0..self.buckets {
+            let b = self.bucket(start + p);
+            match mem.load_u64(b.add(STATE)) {
+                EMPTY => return None,
+                s if (s == VALID || s == DIRTY) && mem.load_u64(b.add(KEY)) == key => {
+                    return (s == VALID).then(|| mem.load_u64(b.add(VALUE)));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// [`PersistentKv::remove`] over an interposable persistence backend.
+    pub fn remove_pmem<B: PmemBackend>(&self, mem: &mut B, key: u64) -> bool {
+        mem.strand();
+        let start = self.probe_start(key);
+        for p in 0..self.buckets {
+            let b = self.bucket(start + p);
+            match mem.load_u64(b.add(STATE)) {
+                EMPTY => return false,
+                s if (s == VALID || s == DIRTY) && mem.load_u64(b.add(KEY)) == key => {
+                    if s == DIRTY {
+                        return false; // already deleted
+                    }
+                    // Tombstone: DIRTY keeps the probe chain intact.
+                    mem.store_u64(b.add(STATE), DIRTY);
+                    mem.persist(b, CACHE_LINE_BYTES);
+                    return true;
+                }
                 _ => {}
             }
         }
@@ -486,6 +583,26 @@ mod tests {
             .unwrap();
             assert!(report.is_consistent(), "seed {seed}: {report}");
         }
+    }
+
+    #[test]
+    fn pmem_methods_match_traced_protocol() {
+        use persist_mem::{DirectPmem, MemAddr};
+        let kv = PersistentKv::from_raw(MemAddr::persistent(0), 16);
+        let mut mem = DirectPmem::new();
+        for k in 1..=10u64 {
+            kv.put_pmem(&mut mem, k, k * 7);
+        }
+        assert_eq!(kv.get_pmem(&mut mem, 3), Some(21));
+        assert!(kv.remove_pmem(&mut mem, 3));
+        assert!(!kv.remove_pmem(&mut mem, 3));
+        assert_eq!(kv.get_pmem(&mut mem, 3), None);
+        kv.put_pmem(&mut mem, 5, 999); // in-place update
+        let mut entries = kv.recover(mem.image()).unwrap();
+        entries.sort_unstable();
+        assert_eq!(entries.len(), 9);
+        assert!(entries.contains(&(5, 999)));
+        assert!(!entries.iter().any(|&(k, _)| k == 3));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! state.
 
 use mem_trace::{Scheduler, ThreadCtx, TracedMem};
-use persist_mem::{MemAddr, MemoryImage, CACHE_LINE_BYTES};
+use persist_mem::{MemAddr, MemoryImage, PmemBackend, CACHE_LINE_BYTES};
 
 /// Transaction states in the log header.
 const IDLE: u64 = 0;
@@ -98,6 +98,29 @@ impl UndoLog {
         UndoLog { header, entries, capacity }
     }
 
+    /// Places a log at fixed persistent addresses (no traced allocator),
+    /// for use with the [`PmemBackend`] methods. The header occupies one
+    /// cache line at `header`; entries occupy `capacity` lines at
+    /// `entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, either address is not persistent or
+    /// not line aligned, or the two regions overlap.
+    pub fn from_raw(header: MemAddr, entries: MemAddr, capacity: u64) -> Self {
+        assert!(capacity > 0, "log needs at least one entry");
+        for a in [header, entries] {
+            assert!(a.is_persistent(), "undo log lives in the persistent space");
+            assert_eq!(a.offset() % CACHE_LINE_BYTES, 0, "log regions must be line aligned");
+        }
+        let (h, e) = (header.offset(), entries.offset());
+        assert!(
+            h + CACHE_LINE_BYTES <= e || e + capacity * CACHE_LINE_BYTES <= h,
+            "log header and entries overlap"
+        );
+        UndoLog { header, entries, capacity }
+    }
+
     fn entry(&self, i: u64) -> MemAddr {
         self.entries.add(i * CACHE_LINE_BYTES)
     }
@@ -117,6 +140,24 @@ impl UndoLog {
         Txn { log: self }
     }
 
+    /// Opens a transaction over an interposable persistence backend:
+    /// identical protocol to [`UndoLog::begin`], with the persist barriers
+    /// realized as flush + fence. Used by the `pfi` fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active.
+    pub fn begin_pmem<'l, B: PmemBackend>(&'l self, mem: &mut B) -> PmemTxn<'l> {
+        mem.strand(); // each transaction is its own strand
+        let status = mem.load_u64(self.header.add(STATUS));
+        assert_eq!(status, IDLE, "undo log already owns an active transaction");
+        mem.store_u64(self.header.add(COUNT), 0);
+        mem.persist(self.header, 16); // empty log before the transaction activates
+        mem.store_u64(self.header.add(STATUS), ACTIVE);
+        mem.persist(self.header, 16);
+        PmemTxn { log: self, count: 0 }
+    }
+
     /// Recovers a persistent image: rolls back an uncommitted transaction
     /// and resets the log. Consumes and returns the image.
     ///
@@ -125,27 +166,69 @@ impl UndoLog {
     /// Returns a description if the log header is malformed (count out of
     /// range).
     pub fn recover_image(&self, mut image: MemoryImage) -> Result<MemoryImage, String> {
+        for step in self.recovery_script(&image)? {
+            if let RecoveryStep::Write { addr, value } = step {
+                image.write_u64(addr, value).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(image)
+    }
+
+    /// Computes the write/barrier sequence recovery would perform on
+    /// `image`, without applying it.
+    ///
+    /// Applying every [`RecoveryStep::Write`] in order reproduces
+    /// [`UndoLog::recover_image`]; the explicit [`RecoveryStep::Barrier`]
+    /// between the rollback writes and the header reset is the persist
+    /// ordering a *re-crash during recovery* relies on (the rollback must
+    /// be durable before the status word leaves `ACTIVE`, or a second
+    /// crash could drop the restored values while the log claims nothing
+    /// is in flight). The `pfi` injector replays this script through its
+    /// shadow backend to crash recovery itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the log header is malformed (count out of
+    /// range).
+    pub fn recovery_script(&self, image: &MemoryImage) -> Result<Vec<RecoveryStep>, String> {
         let status = image.read_u64(self.header.add(STATUS)).map_err(|e| e.to_string())?;
         let count = image.read_u64(self.header.add(COUNT)).map_err(|e| e.to_string())?;
         if count > self.capacity {
             return Err(format!("undo log count {count} exceeds capacity {}", self.capacity));
         }
+        let mut steps = Vec::new();
         if status == ACTIVE {
             // Roll back newest-first.
             for i in (0..count).rev() {
                 let e = self.entry(i);
                 let addr = image.read_u64(e.add(E_ADDR)).map_err(|er| er.to_string())?;
                 let old = image.read_u64(e.add(E_OLD)).map_err(|er| er.to_string())?;
-                image
-                    .write_u64(MemAddr::from_bits(addr), old)
-                    .map_err(|er| er.to_string())?;
+                steps.push(RecoveryStep::Write { addr: MemAddr::from_bits(addr), value: old });
             }
+            steps.push(RecoveryStep::Barrier);
         }
         // COMMITTED or IDLE: in-place state is authoritative.
-        image.write_u64(self.header.add(STATUS), IDLE).map_err(|e| e.to_string())?;
-        image.write_u64(self.header.add(COUNT), 0).map_err(|e| e.to_string())?;
-        Ok(image)
+        steps.push(RecoveryStep::Write { addr: self.header.add(STATUS), value: IDLE });
+        steps.push(RecoveryStep::Write { addr: self.header.add(COUNT), value: 0 });
+        steps.push(RecoveryStep::Barrier);
+        Ok(steps)
     }
+}
+
+/// One step of the undo-log recovery procedure, as produced by
+/// [`UndoLog::recovery_script`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Store `value` at persistent `addr` (and flush its line).
+    Write {
+        /// Destination of the recovery store.
+        addr: MemAddr,
+        /// Value to restore.
+        value: u64,
+    },
+    /// Persist barrier: preceding writes must be durable before any
+    /// following write persists.
+    Barrier,
 }
 
 impl<'l> Txn<'l> {
@@ -198,6 +281,56 @@ impl<'l> Txn<'l> {
         ctx.persist_barrier();
         ctx.store_u64(log.header.add(STATUS), IDLE);
         ctx.persist_barrier();
+    }
+}
+
+/// An open transaction over a [`PmemBackend`] (consumed by
+/// [`PmemTxn::commit`]).
+#[derive(Debug)]
+#[must_use = "an uncommitted transaction rolls back at recovery"]
+pub struct PmemTxn<'l> {
+    log: &'l UndoLog,
+    /// Volatile mirror of the entry count (the persistent word is the
+    /// authority at recovery).
+    count: u64,
+}
+
+impl<'l> PmemTxn<'l> {
+    /// Writes `value` to persistent `addr` under the transaction: the old
+    /// value is logged and persisted before the in-place mutation. The
+    /// mutation itself is flushed but not fenced — [`PmemTxn::commit`]
+    /// fences once for all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is full or `addr` is not persistent.
+    pub fn write<B: PmemBackend>(&mut self, mem: &mut B, addr: MemAddr, value: u64) {
+        assert!(addr.is_persistent(), "transactions cover the persistent space");
+        let log = self.log;
+        assert!(self.count < log.capacity, "undo log full");
+        let old = mem.load_u64(addr);
+        let e = log.entry(self.count);
+        mem.store_u64(e.add(E_ADDR), addr.to_bits());
+        mem.store_u64(e.add(E_OLD), old);
+        mem.persist(e, 16); // entry payload before it is counted
+        mem.store_u64(log.header.add(COUNT), self.count + 1);
+        mem.persist(log.header, 16); // undo record durable before the mutation
+        mem.store_u64(addr, value);
+        mem.flush(addr, 8);
+        self.count += 1;
+    }
+
+    /// Commits: all in-place writes persist before the commit mark, which
+    /// persists before the log truncates.
+    pub fn commit<B: PmemBackend>(self, mem: &mut B) {
+        let log = self.log;
+        mem.fence(); // mutations (flushed at write time) before the mark
+        mem.store_u64(log.header.add(STATUS), COMMITTED);
+        mem.persist(log.header, 16); // commit before truncation
+        mem.store_u64(log.header.add(COUNT), 0);
+        mem.persist(log.header, 16);
+        mem.store_u64(log.header.add(STATUS), IDLE);
+        mem.persist(log.header, 16);
     }
 }
 
@@ -359,6 +492,81 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pmem_transactions_commit_and_roll_back() {
+        use persist_mem::DirectPmem;
+        let log = UndoLog::from_raw(MemAddr::persistent(0), MemAddr::persistent(64), 8);
+        let a = MemAddr::persistent(1024);
+        let b = MemAddr::persistent(1088);
+        let mut mem = DirectPmem::new();
+        mem.store_u64(a, 100);
+        mem.store_u64(b, 0);
+        mem.persist(a, 8);
+
+        let mut txn = log.begin_pmem(&mut mem);
+        txn.write(&mut mem, a, 60);
+        txn.write(&mut mem, b, 40);
+        txn.commit(&mut mem);
+        let img = log.recover_image(mem.image().clone()).unwrap();
+        assert_eq!(img.read_u64(a).unwrap(), 60);
+        assert_eq!(img.read_u64(b).unwrap(), 40);
+
+        // Uncommitted transaction: recovery rolls the writes back.
+        let mut txn = log.begin_pmem(&mut mem);
+        txn.write(&mut mem, a, 1);
+        txn.write(&mut mem, b, 99);
+        let _ = txn; // crash before commit
+        let img = log.recover_image(mem.image().clone()).unwrap();
+        assert_eq!(img.read_u64(a).unwrap(), 60);
+        assert_eq!(img.read_u64(b).unwrap(), 40);
+        assert_eq!(img.read_u64(MemAddr::persistent(0)).unwrap(), IDLE);
+        assert_eq!(img.read_u64(MemAddr::persistent(8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn recovery_script_matches_recover_image() {
+        use persist_mem::DirectPmem;
+        let log = UndoLog::from_raw(MemAddr::persistent(0), MemAddr::persistent(64), 4);
+        let a = MemAddr::persistent(2048);
+        let mut mem = DirectPmem::new();
+        mem.store_u64(a, 5);
+        mem.persist(a, 8);
+        let mut txn = log.begin_pmem(&mut mem);
+        txn.write(&mut mem, a, 77);
+        let _ = txn; // left ACTIVE
+
+        let image = mem.image().clone();
+        let script = log.recovery_script(&image).unwrap();
+        // Rollback write, barrier, header reset, final barrier.
+        assert!(script.contains(&RecoveryStep::Write { addr: a, value: 5 }));
+        assert_eq!(script.iter().filter(|s| **s == RecoveryStep::Barrier).count(), 2);
+        assert!(
+            script.windows(2).any(|w| matches!(
+                w,
+                [RecoveryStep::Write { .. }, RecoveryStep::Barrier]
+            )),
+            "rollback writes must precede a barrier"
+        );
+
+        // Applying the script reproduces recover_image.
+        let mut by_hand = image.clone();
+        for step in &script {
+            if let RecoveryStep::Write { addr, value } = step {
+                by_hand.write_u64(*addr, *value).unwrap();
+            }
+        }
+        assert_eq!(by_hand, log.recover_image(image).unwrap());
+    }
+
+    #[test]
+    fn idle_recovery_script_has_no_rollback() {
+        let log = UndoLog::from_raw(MemAddr::persistent(0), MemAddr::persistent(64), 4);
+        let script = log.recovery_script(&MemoryImage::new()).unwrap();
+        assert!(!script
+            .iter()
+            .any(|s| matches!(s, RecoveryStep::Write { addr, .. } if addr.offset() >= 64)));
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! - [`native`] — the same designs over real memory with real threads, MCS
 //!   locks and cache-line flush intrinsics, used to measure the
 //!   instruction execution rate (the Table 1 normalization baseline),
+//! - [`pmem`] — the same persistence protocols over the interposable
+//!   [`persist_mem::PmemBackend`], so the `pfi` fault injector can crash
+//!   them at arbitrary store/flush/fence points (including a deliberately
+//!   barrier-elided variant used to validate the injector),
 //! - [`entry`] — self-validating entry encoding (slot, lap, checksum),
 //! - [`recovery`] — queue recovery from a persistent-memory image and the
 //!   crash-consistency invariant used with
@@ -55,8 +59,10 @@
 pub mod bounded;
 pub mod entry;
 pub mod native;
+pub mod pmem;
 pub mod recovery;
 pub mod traced;
 
 pub use entry::{EntryCodec, PAYLOAD_BYTES};
+pub use pmem::{PmemBarrierMode, PmemCwlQueue, PmemTwoLockQueue};
 pub use traced::{BarrierMode, QueueLayout, QueueParams};
