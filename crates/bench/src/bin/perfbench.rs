@@ -21,10 +21,21 @@ use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
 use bench::SweepRunner;
 use persistency::dag::PersistDag;
 use persistency::{timing, AnalysisConfig, Model};
-use pfi::fuzz::{run_cell, FuzzCell, FuzzConfig, Structure};
+use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, Structure};
 use pqueue::traced::BarrierMode;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// DAG-engine throughput of the previous revision's committed
+/// `BENCH_engine.json` — the reference `speedup_vs_baseline` reports
+/// against.
+const BASELINE_DAG_EPS: f64 = 5_959_373.0;
+
+/// Crash-fuzz injection throughput of the previous revision's committed
+/// `BENCH_engine.json`, per stock structure (same config: 500 injections,
+/// 16 ops, epoch, multi-crash on, one worker).
+const BASELINE_FUZZ_IPS: [(&str, f64); 4] =
+    [("cwl", 326_181.0), ("2lc", 397_999.0), ("kv", 751_758.0), ("txn", 450_248.0)];
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -131,8 +142,9 @@ fn main() {
         std::hint::black_box(an.analyze(&trace, &cfg).critical_path)
     });
 
-    // DAG engine: quadratic in persists, so a smaller slice of the same
-    // canonical workload.
+    // DAG engine: a smaller slice of the same canonical workload, kept at
+    // this size so the events/sec series stays comparable across revisions
+    // (construction is linear since the chain-index rewrite).
     let wd = StdWorkload::figure(1, (inserts / 8).max(50));
     let (dag_trace, _) = cwl_trace(&wd, BarrierMode::Full);
     let dag_events = dag_trace.events().len() as u64;
@@ -144,18 +156,24 @@ fn main() {
     });
 
     // --- Crash-fuzz injection throughput (pfi), per structure. ---
+    // Runs the production path: one plan per cell, injections sharded
+    // across the worker pool and merged (delta replay per shard).
     let fuzz_cfg = FuzzConfig {
         ops: 16,
         injections: arg("--fuzz-injections", 500),
         seed: 7,
         ..FuzzConfig::default()
     };
+    let fuzz_shards = shard_ranges(fuzz_cfg.injections, runner.workers() as u64);
+    let fuzz_workers_effective = runner.workers().min(fuzz_shards.len());
     let fuzz_rows: Vec<(&str, f64)> = Structure::STOCK
         .iter()
         .map(|&structure| {
             let cell = FuzzCell { structure, model: Model::Epoch };
+            let plan = CellPlan::new(&fuzz_cfg, cell);
             let sec = best_of(3, || {
-                let r = run_cell(&fuzz_cfg, cell);
+                let shards = runner.run(&fuzz_shards, |_, &(lo, hi)| plan.run_shard(lo, hi));
+                let r = plan.merge(&shards);
                 assert!(r.passed(), "perfbench fuzz cell must pass");
                 std::hint::black_box(r.failures)
             });
@@ -178,10 +196,15 @@ fn main() {
     let scalar_reused_eps = scalar_events as f64 / scalar_reused_sec;
     let dag_eps = dag_events as f64 / dag_sec;
 
+    // The optimized sweep fans 9 capture cells across the pool; the
+    // crash-fuzz section fans one shard per worker.
+    let sweep_cells = 9usize;
+    let sweep_workers_effective = runner.workers().min(sweep_cells);
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"bench_engine_v1\",").unwrap();
-    writeln!(json, "  \"workers\": {},", runner.workers()).unwrap();
+    writeln!(json, "  \"schema\": \"bench_engine_v2\",").unwrap();
+    writeln!(json, "  \"workers_configured\": {},", runner.workers()).unwrap();
     writeln!(json, "  \"scalar_engine\": {{").unwrap();
     writeln!(json, "    \"events\": {scalar_events},").unwrap();
     writeln!(json, "    \"events_per_sec_oneshot\": {scalar_oneshot_eps:.0},").unwrap();
@@ -190,16 +213,36 @@ fn main() {
     writeln!(json, "  \"dag_engine\": {{").unwrap();
     writeln!(json, "    \"events\": {dag_events},").unwrap();
     writeln!(json, "    \"nodes\": {dag_nodes},").unwrap();
-    writeln!(json, "    \"events_per_sec\": {dag_eps:.0}").unwrap();
+    writeln!(json, "    \"events_per_sec\": {dag_eps:.0},").unwrap();
+    writeln!(json, "    \"baseline_events_per_sec\": {BASELINE_DAG_EPS:.0},").unwrap();
+    writeln!(json, "    \"speedup_vs_baseline\": {:.2}", dag_eps / BASELINE_DAG_EPS).unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"crash_fuzz\": {{").unwrap();
     writeln!(json, "    \"model\": \"{}\",", Model::Epoch.name()).unwrap();
     writeln!(json, "    \"ops\": {},", fuzz_cfg.ops).unwrap();
     writeln!(json, "    \"injections\": {},", fuzz_cfg.injections).unwrap();
+    writeln!(json, "    \"workers_effective\": {fuzz_workers_effective},").unwrap();
     writeln!(json, "    \"injections_per_sec\": {{").unwrap();
     for (i, (name, ips)) in fuzz_rows.iter().enumerate() {
         let comma = if i + 1 < fuzz_rows.len() { "," } else { "" };
         writeln!(json, "      \"{name}\": {ips:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"baseline_injections_per_sec\": {{").unwrap();
+    for (i, (name, ips)) in BASELINE_FUZZ_IPS.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_FUZZ_IPS.len() { "," } else { "" };
+        writeln!(json, "      \"{name}\": {ips:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"speedup_vs_baseline\": {{").unwrap();
+    for (i, (name, ips)) in fuzz_rows.iter().enumerate() {
+        let base = BASELINE_FUZZ_IPS
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .expect("every stock structure has a baseline");
+        let comma = if i + 1 < fuzz_rows.len() { "," } else { "" };
+        writeln!(json, "      \"{name}\": {:.2}{comma}", ips / base).unwrap();
     }
     writeln!(json, "    }}").unwrap();
     writeln!(json, "  }},").unwrap();
@@ -209,7 +252,7 @@ fn main() {
     writeln!(json, "    \"serial_baseline_sec\": {baseline_sec:.4},").unwrap();
     writeln!(json, "    \"optimized_sec\": {optimized_sec:.4},").unwrap();
     writeln!(json, "    \"speedup\": {speedup:.2},").unwrap();
-    writeln!(json, "    \"workers\": {}", runner.workers()).unwrap();
+    writeln!(json, "    \"workers_effective\": {sweep_workers_effective}").unwrap();
     writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
@@ -218,14 +261,18 @@ fn main() {
     println!("engine throughput (canonical CWL trace, {} events):", scalar_events);
     println!("  scalar one-shot : {scalar_oneshot_eps:>12.0} events/s");
     println!("  scalar reused   : {scalar_reused_eps:>12.0} events/s");
-    println!("  dag ({dag_nodes} nodes)  : {dag_eps:>12.0} events/s");
+    println!(
+        "  dag ({dag_nodes} nodes)  : {dag_eps:>12.0} events/s  ({:.2}x baseline)",
+        dag_eps / BASELINE_DAG_EPS
+    );
     println!();
     println!(
-        "crash-fuzz throughput ({} injections, {} ops, epoch, multi-crash on):",
-        fuzz_cfg.injections, fuzz_cfg.ops
+        "crash-fuzz throughput ({} injections, {} ops, epoch, multi-crash on, {} workers):",
+        fuzz_cfg.injections, fuzz_cfg.ops, fuzz_workers_effective
     );
     for (name, ips) in &fuzz_rows {
-        println!("  {name:<4}: {ips:>12.0} injections/s");
+        let base = BASELINE_FUZZ_IPS.iter().find(|(n, _)| n == name).map(|(_, b)| *b).unwrap();
+        println!("  {name:<4}: {ips:>12.0} injections/s  ({:.2}x baseline)", ips / base);
     }
     println!();
     println!(

@@ -28,7 +28,7 @@ use persistency::crash::{check, Exploration};
 use persistency::dag::PersistDag;
 use persistency::observer::RecoveryObserver;
 use persistency::{timing, AnalysisConfig, Model};
-use pfi::fuzz::{run_cell, FuzzCell, FuzzConfig, Structure};
+use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, ShardReport, Structure};
 use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayout};
 use pqueue::recovery::crash_invariant;
 use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
@@ -361,10 +361,28 @@ fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
         .flat_map(|&structure| models.iter().map(move |&model| FuzzCell { structure, model }))
         .collect();
 
-    // Cells are seeded independently, so the report is identical for any
-    // worker count.
+    // Every injection owns a private RNG stream, so cells can be split
+    // into injection shards at any boundary and the merged report is
+    // byte-identical for any worker count.
     let runner = SweepRunner::from_env();
-    let reports = runner.run(&cells, |_, cell| run_cell(&cfg, *cell));
+    let plans: Vec<CellPlan> = cells.iter().map(|&cell| CellPlan::new(&cfg, cell)).collect();
+    let shards_per_cell = runner.workers() as u64;
+    let items: Vec<(usize, u64, u64)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, plan)| {
+            shard_ranges(plan.injections(), shards_per_cell)
+                .into_iter()
+                .map(move |(lo, hi)| (ci, lo, hi))
+        })
+        .collect();
+    let shard_reports = runner.run(&items, |_, &(ci, lo, hi)| plans[ci].run_shard(lo, hi));
+    let mut grouped: Vec<Vec<ShardReport>> = plans.iter().map(|_| Vec::new()).collect();
+    for (&(ci, _, _), r) in items.iter().zip(shard_reports) {
+        grouped[ci].push(r);
+    }
+    let reports: Vec<_> =
+        plans.iter().zip(&grouped).map(|(plan, shards)| plan.merge(shards)).collect();
     let json = pfi::report::render(&cfg, &reports);
     if let Some(path) = args.get("--out") {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;

@@ -65,4 +65,23 @@ pub(crate) trait Domain {
 
     /// The constraint "ordered after persist `p`".
     fn dep_of(&self, p: Self::PRef) -> Self::Dep;
+
+    /// `into ⊔= dep_of(p)`, without materializing the intermediate
+    /// constraint. Domains with allocating `Dep` representations override
+    /// this to keep the engine's per-persist path allocation-free.
+    fn join_pref(&mut self, into: &mut Self::Dep, p: Self::PRef) {
+        let dep = self.dep_of(p);
+        self.join(into, &dep);
+    }
+
+    /// `*into = dep_of(p)`, reusing `into`'s storage where possible.
+    fn assign_pref(&mut self, into: &mut Self::Dep, p: Self::PRef) {
+        *into = self.dep_of(p);
+    }
+
+    /// `*dep = bottom()`, reusing `dep`'s storage where possible (the
+    /// engine clears block reader sets on every write).
+    fn reset_dep(&self, dep: &mut Self::Dep) {
+        *dep = self.bottom();
+    }
 }

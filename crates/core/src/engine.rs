@@ -22,6 +22,7 @@ use crate::domain::{Domain, EventRef, WriteRec};
 use crate::{AnalysisConfig, Model};
 use mem_trace::{Op, Trace};
 use persist_mem::FxHashMap;
+use std::collections::hash_map::Entry;
 
 struct ThreadState<D: Domain> {
     /// Constraints ordering all future persists of this thread.
@@ -106,12 +107,8 @@ impl<D: Domain> Scratch<D> {
 }
 
 /// Runs the propagation over `trace` under `config`, driving `dom`.
-pub(crate) fn run<D: Domain>(trace: &Trace, config: &AnalysisConfig, dom: &mut D) -> EngineStats {
-    let mut scratch = Scratch::new(dom);
-    run_with(trace, config, dom, &mut scratch)
-}
-
-/// Like [`run`], reusing `scratch` from a previous run.
+/// `scratch` carries reusable engine state across runs; pass a fresh
+/// [`Scratch`] for one-shot analysis.
 pub(crate) fn run_with<D: Domain>(
     trace: &Trace,
     config: &AnalysisConfig,
@@ -137,43 +134,43 @@ pub(crate) fn run_with<D: Domain>(
 
                 // 1. Incoming constraint: thread program-order component
                 //    plus conflict inheritance from the touched blocks.
+                //
+                //    Accesses almost always fit one tracked block; that
+                //    path resolves the block entry ONCE and holds it across
+                //    the persist step, halving the hash traffic of the hot
+                //    loop. Spanning accesses take the general two-pass walk.
                 input.clone_from(&threads[t].prev);
-                for blk in tracking.blocks_of(addr, len as u64) {
-                    if !block_participates(model, blk.space) {
-                        continue;
+                let single = tracking.contains_access(addr, len as u64);
+                let mut fast: Option<&mut BlockState<D>> = None;
+                if single {
+                    let blk = tracking.block_of(addr);
+                    if block_participates(model, blk.space) {
+                        let bs =
+                            blocks.entry(blk.to_bits()).or_insert_with(|| BlockState {
+                                writer: dom.bottom(),
+                                readers: dom.bottom(),
+                            });
+                        inherit(dom, model, input, bs, is_read, is_write);
+                        fast = Some(bs);
                     }
-                    if let Some(bs) = blocks.get(&blk.to_bits()) {
-                        match model {
-                            Model::Strict | Model::StrictRmo | Model::Epoch => {
-                                // SC conflicts: a read is ordered after the
-                                // last write; a write after the last write
-                                // and all reads since (load-before-store).
-                                if is_read || is_write {
-                                    dom.join(input, &bs.writer);
-                                }
-                                if is_write {
-                                    dom.join(input, &bs.readers);
-                                }
-                            }
-                            Model::Bpfs => {
-                                // TSO-style: only the last persist's record
-                                // is visible; read-before-write races are
-                                // not detected.
-                                dom.join(input, &bs.writer);
-                            }
-                            Model::Strand => {
-                                // Only strong persist atomicity: the block
-                                // state carries the last persist itself.
-                                dom.join(input, &bs.writer);
-                            }
+                } else {
+                    for blk in tracking.blocks_of(addr, len as u64) {
+                        if !block_participates(model, blk.space) {
+                            continue;
+                        }
+                        if let Some(bs) = blocks.get(&blk.to_bits()) {
+                            inherit(dom, model, input, bs, is_read, is_write);
                         }
                     }
                 }
 
-                // 2. The persist itself: coalesce or create.
-                out.clone_from(input);
-                let mut persist_dep: Option<D::Dep> = None;
+                // 2. The persist itself: coalesce or create. A non-persist
+                //    access leaves the constraint unchanged, so `out` is
+                //    only materialized (copied) on the persist path; other
+                //    events use `input` directly.
+                let mut persist_ref: Option<D::PRef> = None;
                 if is_persist {
+                    out.clone_from(input);
                     stats.persist_ops += 1;
                     let w = WriteRec {
                         addr,
@@ -181,18 +178,25 @@ pub(crate) fn run_with<D: Domain>(
                         value: e.op.written_value().expect("persist writes a value"),
                     };
                     let ev = EventRef { index, thread: e.thread, work: threads[t].work };
-                    let dep = if atomic.contains_access(addr, len as u64) {
+                    let p = if atomic.contains_access(addr, len as u64) {
                         let ab = atomic.block_of(addr).to_bits();
-                        match last_persist.get(&ab) {
-                            Some(&p) if config.coalescing && dom.can_coalesce(input, p) => {
-                                stats.coalesced += 1;
-                                dom.coalesce(p, w, ev);
-                                dom.dep_of(p)
+                        match last_persist.entry(ab) {
+                            Entry::Occupied(mut o) => {
+                                let p = *o.get();
+                                if config.coalescing && dom.can_coalesce(input, p) {
+                                    stats.coalesced += 1;
+                                    dom.coalesce(p, w, ev);
+                                    p
+                                } else {
+                                    let p = dom.new_persist(input, w, ev);
+                                    o.insert(p);
+                                    p
+                                }
                             }
-                            _ => {
+                            Entry::Vacant(v) => {
                                 let p = dom.new_persist(input, w, ev);
-                                last_persist.insert(ab, p);
-                                dom.dep_of(p)
+                                v.insert(p);
+                                p
                             }
                         }
                     } else {
@@ -203,50 +207,28 @@ pub(crate) fn run_with<D: Domain>(
                         for ab in atomic.blocks_of(addr, len as u64) {
                             last_persist.remove(&ab.to_bits());
                         }
-                        dom.dep_of(p)
+                        p
                     };
-                    dom.join(out, &dep);
-                    persist_dep = Some(dep);
+                    dom.join_pref(out, p);
+                    persist_ref = Some(p);
                 }
+                let out: &D::Dep = if is_persist { out } else { input };
 
                 // 3. Update block state.
-                for blk in tracking.blocks_of(addr, len as u64) {
-                    if !block_participates(model, blk.space) {
-                        continue;
+                if single {
+                    if let Some(bs) = fast {
+                        update(dom, model, out, bs, is_write, persist_ref);
                     }
-                    let bs = blocks.entry(blk.to_bits()).or_insert_with(|| BlockState {
-                        writer: dom.bottom(),
-                        readers: dom.bottom(),
-                    });
-                    match model {
-                        Model::Strict | Model::StrictRmo | Model::Epoch => {
-                            if is_write {
-                                bs.writer.clone_from(out);
-                                // The write's constraint dominates prior
-                                // readers (they fed its input).
-                                bs.readers = dom.bottom();
-                            } else {
-                                dom.join(&mut bs.readers, out);
-                            }
+                } else {
+                    for blk in tracking.blocks_of(addr, len as u64) {
+                        if !block_participates(model, blk.space) {
+                            continue;
                         }
-                        Model::Bpfs => {
-                            if is_write {
-                                bs.writer.clone_from(out);
-                            }
-                            // Reads leave no record: the R→W race is the
-                            // conflict BPFS's per-line epoch tags miss.
-                        }
-                        Model::Strand => {
-                            // Only the persist itself is remembered: strong
-                            // persist atomicity orders persists to the same
-                            // address, and reads inherit the last persist
-                            // (the §5.3 "read then barrier then persist"
-                            // idiom) — but non-persist context never flows
-                            // through memory.
-                            if let Some(dep) = &persist_dep {
-                                bs.writer.clone_from(dep);
-                            }
-                        }
+                        let bs = blocks.entry(blk.to_bits()).or_insert_with(|| BlockState {
+                            writer: dom.bottom(),
+                            readers: dom.bottom(),
+                        });
+                        update(dom, model, out, bs, is_write, persist_ref);
                     }
                 }
 
@@ -268,9 +250,7 @@ pub(crate) fn run_with<D: Domain>(
                 // Under strict persistency on relaxed consistency there are
                 // no persist barriers: persistency is the consistency model.
                 if model != Model::StrictRmo {
-                    let st = &mut threads[t];
-                    let cur = std::mem::replace(&mut st.cur, dom.bottom());
-                    dom.join(&mut st.prev, &cur);
+                    fold_epoch(dom, &mut threads[t]);
                 }
             }
             Op::PersistSync => {
@@ -278,9 +258,7 @@ pub(crate) fn run_with<D: Domain>(
                 // orders every earlier persist before every later one
                 // under any model.
                 stats.barriers += 1;
-                let st = &mut threads[t];
-                let cur = std::mem::replace(&mut st.cur, dom.bottom());
-                dom.join(&mut st.prev, &cur);
+                fold_epoch(dom, &mut threads[t]);
             }
             Op::MemBarrier => {
                 // A consistency barrier orders store visibility; only
@@ -289,17 +267,15 @@ pub(crate) fn run_with<D: Domain>(
                 // ordered; epoch/strand persistency explicitly decouple
                 // store visibility from persist order, §4.2.)
                 if model == Model::StrictRmo {
-                    let st = &mut threads[t];
-                    let cur = std::mem::replace(&mut st.cur, dom.bottom());
-                    dom.join(&mut st.prev, &cur);
+                    fold_epoch(dom, &mut threads[t]);
                 }
             }
             Op::NewStrand => {
                 stats.strands += 1;
                 if model == Model::Strand {
                     let st = &mut threads[t];
-                    st.prev = dom.bottom();
-                    st.cur = dom.bottom();
+                    dom.reset_dep(&mut st.prev);
+                    dom.reset_dep(&mut st.cur);
                 }
                 // Other models ignore strand barriers, exactly as a
                 // machine without strand support would.
@@ -313,6 +289,91 @@ pub(crate) fn run_with<D: Domain>(
         }
     }
     stats
+}
+
+/// Folds a thread's epoch-local constraint into its per-thread prefix at a
+/// barrier, keeping the epoch buffer's storage for the next epoch.
+#[inline]
+fn fold_epoch<D: Domain>(dom: &mut D, st: &mut ThreadState<D>) {
+    let ThreadState { prev, cur, .. } = st;
+    dom.join(prev, cur);
+    dom.reset_dep(cur);
+}
+
+/// Folds the conflict constraints a block's state imposes on an incoming
+/// access into `input`, per the model's conflict-detection rules.
+#[inline]
+fn inherit<D: Domain>(
+    dom: &mut D,
+    model: Model,
+    input: &mut D::Dep,
+    bs: &BlockState<D>,
+    is_read: bool,
+    is_write: bool,
+) {
+    match model {
+        Model::Strict | Model::StrictRmo | Model::Epoch => {
+            // SC conflicts: a read is ordered after the last write; a write
+            // after the last write and all reads since (load-before-store).
+            if is_read || is_write {
+                dom.join(input, &bs.writer);
+            }
+            if is_write {
+                dom.join(input, &bs.readers);
+            }
+        }
+        Model::Bpfs => {
+            // TSO-style: only the last persist's record is visible;
+            // read-before-write races are not detected.
+            dom.join(input, &bs.writer);
+        }
+        Model::Strand => {
+            // Only strong persist atomicity: the block state carries the
+            // last persist itself.
+            dom.join(input, &bs.writer);
+        }
+    }
+}
+
+/// Records an access's outgoing constraint in a block's state, per model.
+#[inline]
+fn update<D: Domain>(
+    dom: &mut D,
+    model: Model,
+    out: &D::Dep,
+    bs: &mut BlockState<D>,
+    is_write: bool,
+    persist_ref: Option<D::PRef>,
+) {
+    match model {
+        Model::Strict | Model::StrictRmo | Model::Epoch => {
+            if is_write {
+                bs.writer.clone_from(out);
+                // The write's constraint dominates prior readers (they fed
+                // its input).
+                dom.reset_dep(&mut bs.readers);
+            } else {
+                dom.join(&mut bs.readers, out);
+            }
+        }
+        Model::Bpfs => {
+            if is_write {
+                bs.writer.clone_from(out);
+            }
+            // Reads leave no record: the R→W race is the conflict BPFS's
+            // per-line epoch tags miss.
+        }
+        Model::Strand => {
+            // Only the persist itself is remembered: strong persist
+            // atomicity orders persists to the same address, and reads
+            // inherit the last persist (the §5.3 "read then barrier then
+            // persist" idiom) — but non-persist context never flows through
+            // memory.
+            if let Some(p) = persist_ref {
+                dom.assign_pref(&mut bs.writer, p);
+            }
+        }
+    }
 }
 
 /// Which address spaces participate in conflict tracking under each model.

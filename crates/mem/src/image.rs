@@ -97,8 +97,15 @@ impl MemoryImage {
             .ok_or(MemError::OutOfBounds { addr, len })?;
         let v = self.space_ref(addr.space());
         let off = addr.offset() as usize;
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = v.get(off + i).copied().unwrap_or(0);
+        if let Some(src) = v.get(off..off + buf.len()) {
+            // Fully inside the current extent: one memcpy.
+            buf.copy_from_slice(src);
+        } else {
+            let have = v.len().saturating_sub(off).min(buf.len());
+            if have > 0 {
+                buf[..have].copy_from_slice(&v[off..off + have]);
+            }
+            buf[have..].fill(0);
         }
         Ok(())
     }
@@ -126,6 +133,17 @@ impl MemoryImage {
     /// Current extent (bytes) of the given space's image.
     pub fn extent(&self, space: Space) -> u64 {
         self.space_ref(space).len() as u64
+    }
+
+    /// Shrinks the given space back to `len` bytes (no-op if already at or
+    /// below it). Lets copy-on-write users restore an image to an earlier
+    /// extent exactly, so restored images compare byte-identical to ones
+    /// that never grew.
+    pub fn truncate(&mut self, space: Space, len: u64) {
+        let v = self.space_mut(space);
+        if (v.len() as u64) > len {
+            v.truncate(len as usize);
+        }
     }
 
     /// Clears the volatile space, modeling a failure: DRAM contents are

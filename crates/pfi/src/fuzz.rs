@@ -1,13 +1,19 @@
 //! The per-cell crash-fuzz loop.
 //!
-//! A *cell* is one (structure × model) pair. [`run_cell`] records the
-//! target's workload once, then injects `injections` crashes: even
-//! injection indices sweep crash points systematically, odd ones draw
-//! them (and the survivor sets) from a small deterministic RNG seeded
-//! from `(seed, structure, model)` — so a cell's outcome is identical
-//! regardless of how many workers run the matrix. The first failure in a
-//! cell is shrunk to the earliest crash point and smallest dropped set
-//! that still fail; later failures are only counted.
+//! A *cell* is one (structure × model) pair. [`CellPlan::new`] records the
+//! target's workload once; injections then run against that recording
+//! through a pooled delta [`Replayer`] — O(touched lines) per crash image
+//! instead of a base-image clone plus full fragment replay. Even injection
+//! indices sweep crash points systematically, odd ones draw them (and the
+//! survivor sets) from a small deterministic RNG. Every injection seeds
+//! its *own* RNG stream from `(seed, structure, model, injection)`, so a
+//! cell can be sharded across workers at any boundary — see
+//! [`CellPlan::run_shard`] and [`CellPlan::merge`] — and the merged report
+//! is byte-identical for any worker count or shard split. [`run_cell`]
+//! is the single-shard convenience wrapper. The first failure in a cell
+//! (lowest injection index across shards) is shrunk to the earliest crash
+//! point and smallest dropped set that still fail; later failures are
+//! only counted.
 //!
 //! When the target's recovery writes (the undo log), its recovery script
 //! is replayed through a fresh shadow and a *second* crash is injected
@@ -15,6 +21,7 @@
 //! crash-consistent.
 
 use crate::inject::{CrashCase, FragmentSet};
+use crate::replay::Replayer;
 use crate::shadow::{Recording, ShadowPmem};
 use crate::targets::{CwlTarget, FuzzTarget, KvTarget, TwoLockTarget, TxnTarget};
 use mem_trace::rng::SmallRng;
@@ -158,6 +165,16 @@ fn cell_seed(seed: u64, cell: FuzzCell) -> u64 {
     h ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Derives injection `i`'s private RNG seed from the cell seed (a
+/// splitmix64-style finalizer). Giving every injection its own stream is
+/// what makes shard boundaries invisible in the results.
+fn injection_seed(cell_seed: u64, i: u64) -> u64 {
+    let mut z = cell_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Applies a recovery script's writes (barriers are ordering-only).
 fn apply_script(mut image: MemoryImage, script: &[RecoveryStep]) -> MemoryImage {
     for step in script {
@@ -184,22 +201,30 @@ fn record_recovery(base: &MemoryImage, script: &[RecoveryStep]) -> Recording {
     s.into_recording()
 }
 
-/// Runs first-crash recovery + checks. On success returns the pre-recovery
-/// image and the script (the inputs a second crash needs).
+/// Runs first-crash recovery + checks through the delta replayer. On
+/// success returns the recovery script, plus — only when `want_image` is
+/// set and the script writes — a clone of the pre-recovery image (the
+/// inputs a second crash needs). The replayer is always left reset.
 fn eval_first(
     target: &dyn FuzzTarget,
-    rec: &Recording,
-    frags: &FragmentSet,
-    model: Model,
+    replayer: &mut Replayer<'_>,
     case: &CrashCase,
-) -> Result<(MemoryImage, Vec<RecoveryStep>), String> {
-    let img = frags.materialize(&rec.base, model, case);
-    let (completed, begun) = rec.ops_at(case.point);
-    let script = target
-        .recovery_script(&img)
-        .map_err(|e| format!("recovery rejected the image: {e}"))?;
-    let recovered = apply_script(img.clone(), &script);
-    target.check(&recovered, completed, begun)?;
+    want_image: bool,
+) -> Result<(Option<MemoryImage>, Vec<RecoveryStep>), String> {
+    replayer.load(case);
+    let script = match target.recovery_script(replayer.image()) {
+        Ok(s) => s,
+        Err(e) => {
+            replayer.reset();
+            return Err(format!("recovery rejected the image: {e}"));
+        }
+    };
+    let img = (want_image && !script.is_empty()).then(|| replayer.image().clone());
+    let (completed, begun) = replayer.ops_at(case.point);
+    replayer.apply_recovery(&script);
+    let res = target.check(replayer.image(), completed, begun);
+    replayer.reset();
+    res?;
     Ok((img, script))
 }
 
@@ -222,109 +247,197 @@ fn eval_second(
     target.check(&recovered, completed, begun)
 }
 
-/// Fuzzes one cell. Deterministic for a fixed `cfg` and `cell`.
-pub fn run_cell(cfg: &FuzzConfig, cell: FuzzCell) -> CellReport {
-    let target = cell.structure.target();
-    let mut shadow = ShadowPmem::new();
-    target.run(&mut shadow, cfg.ops);
-    let rec = shadow.into_recording();
-    let frags = FragmentSet::build(&rec, AtomicPersistSize::default());
-    let model = cell.model;
-    let points = rec.events.len() as u64 + 1;
+/// The outcome of one contiguous injection range of a cell. Shards are
+/// pure functions of `(plan, range)`, so merging them reproduces the
+/// serial report exactly whatever the partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Injections this shard ran.
+    pub injections: u64,
+    /// Crashes additionally injected into recovery (multi-crash).
+    pub recovery_crashes: u64,
+    /// Injections whose recovery or check failed.
+    pub failures: u64,
+    /// The shard's earliest failure, shrunk.
+    pub first_failure: Option<FailureReport>,
+}
 
-    let mut rng = SmallRng::seed_from_u64(cell_seed(cfg.seed, cell));
-    let mut failures = 0u64;
-    let mut recovery_crashes = 0u64;
-    let mut first_failure: Option<FailureReport> = None;
+/// A fuzz cell prepared for (possibly parallel) injection: the recorded
+/// workload, its fragments, and the target. Shareable across worker
+/// threads; each [`CellPlan::run_shard`] call builds its own delta
+/// [`Replayer`] over the shared recording.
+pub struct CellPlan {
+    cfg: FuzzConfig,
+    cell: FuzzCell,
+    target: Box<dyn FuzzTarget>,
+    rec: Recording,
+    frags: FragmentSet,
+    seed: u64,
+}
 
-    for i in 0..cfg.injections {
-        // Even injections sweep crash points systematically; odd ones are
-        // random, as are all survivor draws.
-        let point = if i % 2 == 0 {
-            ((i / 2) % points) as usize
-        } else {
-            rng.gen_below(points) as usize
-        };
-        let case = frags.draw(model, point, &mut rng, cfg.torn);
+impl std::fmt::Debug for CellPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellPlan")
+            .field("cell", &self.cell)
+            .field("events", &self.rec.events.len())
+            .finish_non_exhaustive()
+    }
+}
 
-        match eval_first(target.as_ref(), &rec, &frags, model, &case) {
-            Err(_) => {
-                failures += 1;
-                if first_failure.is_none() {
-                    let shrunk = frags.shrink(model, &case, |c| {
-                        eval_first(target.as_ref(), &rec, &frags, model, c).is_err()
-                    });
-                    let message = eval_first(target.as_ref(), &rec, &frags, model, &shrunk)
-                        .expect_err("shrunk case still fails");
-                    first_failure = Some(FailureReport {
-                        injection: i,
-                        crash_point: shrunk.point,
-                        second_crash_point: None,
-                        during_recovery: false,
-                        dropped_lines: frags.dropped_lines(model, &shrunk),
-                        message,
-                    });
-                }
-            }
-            Ok((img, script)) if cfg.multi_crash && !script.is_empty() => {
-                recovery_crashes += 1;
-                let rec2 = record_recovery(&img, &script);
-                let frags2 = FragmentSet::build(&rec2, AtomicPersistSize::default());
-                let (completed, begun) = rec.ops_at(case.point);
-                let p2 = rng.gen_below(rec2.events.len() as u64 + 1) as usize;
-                let case2 = frags2.draw(model, p2, &mut rng, cfg.torn);
-                if let Err(_) =
-                    eval_second(target.as_ref(), &frags2, &img, model, &case2, completed, begun)
-                {
+impl CellPlan {
+    /// Records the cell's workload and prepares injection state.
+    pub fn new(cfg: &FuzzConfig, cell: FuzzCell) -> Self {
+        let target = cell.structure.target();
+        let mut shadow = ShadowPmem::new();
+        target.run(&mut shadow, cfg.ops);
+        let rec = shadow.into_recording();
+        let frags = FragmentSet::build(&rec, AtomicPersistSize::default());
+        CellPlan { cfg: *cfg, cell, target, rec, frags, seed: cell_seed(cfg.seed, cell) }
+    }
+
+    /// Total injections the plan's config asks for.
+    pub fn injections(&self) -> u64 {
+        self.cfg.injections
+    }
+
+    /// The cell this plan fuzzes.
+    pub fn cell(&self) -> FuzzCell {
+        self.cell
+    }
+
+    /// Runs injections `lo..hi`. Deterministic for a fixed plan and range,
+    /// independent of how the full range is partitioned.
+    pub fn run_shard(&self, lo: u64, hi: u64) -> ShardReport {
+        let target = self.target.as_ref();
+        let model = self.cell.model;
+        let cfg = &self.cfg;
+        let points = self.rec.events.len() as u64 + 1;
+        let mut replayer = Replayer::new(&self.frags, &self.rec, model);
+
+        let mut failures = 0u64;
+        let mut recovery_crashes = 0u64;
+        let mut first_failure: Option<FailureReport> = None;
+
+        for i in lo..hi.min(cfg.injections) {
+            let mut rng = SmallRng::seed_from_u64(injection_seed(self.seed, i));
+            // Even injections sweep crash points systematically; odd ones
+            // are random, as are all survivor draws.
+            let point = if i % 2 == 0 {
+                ((i / 2) % points) as usize
+            } else {
+                rng.gen_below(points) as usize
+            };
+            let case = self.frags.draw(model, point, &mut rng, cfg.torn);
+
+            match eval_first(target, &mut replayer, &case, cfg.multi_crash) {
+                Err(_) => {
                     failures += 1;
                     if first_failure.is_none() {
-                        // Shrink the recovery crash with the first crash fixed.
-                        let shrunk2 = frags2.shrink(model, &case2, |c2| {
-                            eval_second(
-                                target.as_ref(),
-                                &frags2,
-                                &img,
-                                model,
-                                c2,
-                                completed,
-                                begun,
-                            )
-                            .is_err()
+                        let shrunk = self.frags.shrink(model, &case, |c| {
+                            eval_first(target, &mut replayer, c, false).is_err()
                         });
-                        let message = eval_second(
-                            target.as_ref(),
-                            &frags2,
-                            &img,
-                            model,
-                            &shrunk2,
-                            completed,
-                            begun,
-                        )
-                        .expect_err("shrunk recovery crash still fails");
+                        let message = eval_first(target, &mut replayer, &shrunk, false)
+                            .expect_err("shrunk case still fails");
                         first_failure = Some(FailureReport {
                             injection: i,
-                            crash_point: case.point,
-                            second_crash_point: Some(shrunk2.point),
-                            during_recovery: true,
-                            dropped_lines: frags2.dropped_lines(model, &shrunk2),
+                            crash_point: shrunk.point,
+                            second_crash_point: None,
+                            during_recovery: false,
+                            dropped_lines: self.frags.dropped_lines(model, &shrunk),
                             message,
                         });
                     }
                 }
+                Ok((Some(img), script)) => {
+                    recovery_crashes += 1;
+                    let rec2 = record_recovery(&img, &script);
+                    let frags2 = FragmentSet::build(&rec2, AtomicPersistSize::default());
+                    let (completed, begun) = replayer.ops_at(case.point);
+                    let p2 = rng.gen_below(rec2.events.len() as u64 + 1) as usize;
+                    let case2 = frags2.draw(model, p2, &mut rng, cfg.torn);
+                    if eval_second(target, &frags2, &img, model, &case2, completed, begun)
+                        .is_err()
+                    {
+                        failures += 1;
+                        if first_failure.is_none() {
+                            // Shrink the recovery crash with the first crash
+                            // fixed.
+                            let shrunk2 = frags2.shrink(model, &case2, |c2| {
+                                eval_second(target, &frags2, &img, model, c2, completed, begun)
+                                    .is_err()
+                            });
+                            let message = eval_second(
+                                target, &frags2, &img, model, &shrunk2, completed, begun,
+                            )
+                            .expect_err("shrunk recovery crash still fails");
+                            first_failure = Some(FailureReport {
+                                injection: i,
+                                crash_point: case.point,
+                                second_crash_point: Some(shrunk2.point),
+                                during_recovery: true,
+                                dropped_lines: frags2.dropped_lines(model, &shrunk2),
+                                message,
+                            });
+                        }
+                    }
+                }
+                Ok((None, _)) => {}
             }
-            Ok(_) => {}
+        }
+
+        ShardReport {
+            injections: hi.min(cfg.injections).saturating_sub(lo),
+            recovery_crashes,
+            failures,
+            first_failure,
         }
     }
 
-    CellReport {
-        structure: cell.structure.name(),
-        model: model.name(),
-        events: rec.events.len(),
-        injections: cfg.injections,
-        recovery_crashes,
-        failures,
-        first_failure,
+    /// Merges shard results covering the full `0..injections` range into
+    /// the cell report. The first failure is the one with the lowest
+    /// injection index, matching a serial run.
+    pub fn merge(&self, shards: &[ShardReport]) -> CellReport {
+        let mut recovery_crashes = 0u64;
+        let mut failures = 0u64;
+        let mut first_failure: Option<FailureReport> = None;
+        for s in shards {
+            recovery_crashes += s.recovery_crashes;
+            failures += s.failures;
+            if let Some(f) = &s.first_failure {
+                if first_failure.as_ref().is_none_or(|g| f.injection < g.injection) {
+                    first_failure = Some(f.clone());
+                }
+            }
+        }
+        CellReport {
+            structure: self.cell.structure.name(),
+            model: self.cell.model.name(),
+            events: self.rec.events.len(),
+            injections: self.cfg.injections,
+            recovery_crashes,
+            failures,
+            first_failure,
+        }
     }
+}
+
+/// Splits `0..total` into `shards` contiguous ranges (the last may be
+/// shorter; empty ranges are omitted).
+pub fn shard_ranges(total: u64, shards: u64) -> Vec<(u64, u64)> {
+    let shards = shards.max(1);
+    let per = total.div_ceil(shards).max(1);
+    (0..shards)
+        .map(|s| (s * per, ((s + 1) * per).min(total)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Fuzzes one cell serially. Deterministic for a fixed `cfg` and `cell`,
+/// and identical to any sharded run of the same plan.
+pub fn run_cell(cfg: &FuzzConfig, cell: FuzzCell) -> CellReport {
+    let plan = CellPlan::new(cfg, cell);
+    let shard = plan.run_shard(0, plan.injections());
+    plan.merge(&[shard])
 }
 
 #[cfg(test)]
@@ -365,5 +478,30 @@ mod tests {
         let a = quick(8, 60, Structure::Kv, Model::Strand);
         let b = quick(8, 60, Structure::Kv, Model::Strand);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_runs_match_serial() {
+        let cfg = FuzzConfig { ops: 8, injections: 90, torn: true, ..FuzzConfig::default() };
+        // A passing and a failing cell, so merge covers both paths.
+        for structure in [Structure::Txn, Structure::CwlElided] {
+            let cell = FuzzCell { structure, model: Model::Epoch };
+            let plan = CellPlan::new(&cfg, cell);
+            let serial = plan.merge(&[plan.run_shard(0, plan.injections())]);
+            for shards in [2u64, 7] {
+                let parts: Vec<ShardReport> = shard_ranges(plan.injections(), shards)
+                    .into_iter()
+                    .map(|(lo, hi)| plan.run_shard(lo, hi))
+                    .collect();
+                assert_eq!(plan.merge(&parts), serial, "{structure:?} x{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_range() {
+        assert_eq!(shard_ranges(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(shard_ranges(2, 5), vec![(0, 1), (1, 2)]);
+        assert_eq!(shard_ranges(0, 4), vec![]);
     }
 }

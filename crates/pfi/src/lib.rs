@@ -18,6 +18,8 @@
 //! - [`shadow`] — the recording backend and [`Recording`];
 //! - [`inject`] — fragments, per-model durability/drop rules, crash-case
 //!   sampling, legality, materialization and shrinking;
+//! - [`replay`] — the delta replayer: checkpoint-ladder materialization
+//!   in O(touched lines) per injection over a pooled scratch image;
 //! - [`targets`] — the fuzz targets (queues, KV store, transaction log),
 //!   including the deliberately broken barrier-elided queue;
 //! - [`fuzz`] — the per-cell (structure × model) fuzz loop;
@@ -27,11 +29,13 @@
 
 pub mod fuzz;
 pub mod inject;
+pub mod replay;
 pub mod report;
 pub mod shadow;
 pub mod targets;
 
-pub use fuzz::{CellReport, FailureReport, FuzzCell, FuzzConfig, Structure};
+pub use fuzz::{CellPlan, CellReport, FailureReport, FuzzCell, FuzzConfig, ShardReport, Structure};
 pub use inject::{CrashCase, Fragment, FragmentSet, Survivor};
+pub use replay::Replayer;
 pub use shadow::{Recording, ShadowEvent, ShadowPmem};
 pub use targets::FuzzTarget;

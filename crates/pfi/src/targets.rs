@@ -26,7 +26,10 @@ use pstruct::kv::PersistentKv;
 use pstruct::txn::{RecoveryStep, UndoLog};
 
 /// A crash-fuzzable persistent structure.
-pub trait FuzzTarget {
+///
+/// Targets are stateless between calls (`Send + Sync`), so one boxed
+/// target can serve injection shards running on several worker threads.
+pub trait FuzzTarget: Send + Sync {
     /// Short name used in reports (`cwl`, `2lc`, `kv`, …).
     fn name(&self) -> &'static str;
 
@@ -64,28 +67,29 @@ fn queue_layout(capacity: u64, margin: u64) -> QueueLayout {
     }
 }
 
-/// Shared queue durability check: the recovered head must cover every
-/// completed insert and claim nothing that never began.
+/// Shared queue durability check: the persisted head must cover every
+/// completed insert and claim nothing that never began. Structural
+/// validation of the entries the head covers is recovery's job
+/// ([`recovery::recover_head`] in `recovery_script`), which the injector
+/// always runs first on the same image — the check reads the head alone.
 fn check_queue_head(
     image: &MemoryImage,
     layout: &QueueLayout,
     completed: u64,
     begun: u64,
 ) -> Result<(), String> {
-    let rq = recovery::recover(image, layout)?;
+    let head_bytes = image.read_u64(layout.head).map_err(|e| e.to_string())?;
     let slot = QueueParams::SLOT_BYTES;
-    if rq.head_bytes < completed * slot {
+    if head_bytes < completed * slot {
         return Err(format!(
-            "durability: {completed} inserts completed but head {} covers only {}",
-            rq.head_bytes,
-            rq.head_bytes / slot
+            "durability: {completed} inserts completed but head {head_bytes} covers only {}",
+            head_bytes / slot
         ));
     }
-    if rq.head_bytes > begun * slot {
+    if head_bytes > begun * slot {
         return Err(format!(
-            "phantom inserts: head {} covers {} entries but only {begun} ever began",
-            rq.head_bytes,
-            rq.head_bytes / slot
+            "phantom inserts: head {head_bytes} covers {} entries but only {begun} ever began",
+            head_bytes / slot
         ));
     }
     Ok(())
@@ -134,7 +138,7 @@ impl FuzzTarget for CwlTarget {
     }
 
     fn recovery_script(&self, image: &MemoryImage) -> Result<Vec<RecoveryStep>, String> {
-        recovery::recover(image, &self.layout).map(|_| Vec::new())
+        recovery::recover_head(image, &self.layout).map(|_| Vec::new())
     }
 
     fn check(&self, image: &MemoryImage, completed: u64, begun: u64) -> Result<(), String> {
@@ -196,7 +200,7 @@ impl FuzzTarget for TwoLockTarget {
     }
 
     fn recovery_script(&self, image: &MemoryImage) -> Result<Vec<RecoveryStep>, String> {
-        recovery::recover(image, &self.layout).map(|_| Vec::new())
+        recovery::recover_head(image, &self.layout).map(|_| Vec::new())
     }
 
     fn check(&self, image: &MemoryImage, completed: u64, begun: u64) -> Result<(), String> {
@@ -226,18 +230,15 @@ impl KvTarget {
         }
     }
 
-    /// The map a crash-free prefix of `n` operations leaves behind.
-    fn expected_after(n: u64) -> std::collections::BTreeMap<u64, u64> {
-        let mut m = std::collections::BTreeMap::new();
+    /// The map a crash-free prefix of `n` operations leaves behind,
+    /// indexed by key (keys are 1..=8; slot 0 is unused). A fixed array
+    /// instead of a map: `check` runs once per injection, and the fuzz
+    /// loop injects hundreds of thousands of crashes per second.
+    fn expected_after(n: u64) -> [Option<u64>; 9] {
+        let mut m = [None; 9];
         for j in 0..n {
-            match Self::op(j) {
-                (k, Some(v)) => {
-                    m.insert(k, v);
-                }
-                (k, None) => {
-                    m.remove(&k);
-                }
-            }
+            let (k, v) = Self::op(j);
+            m[k as usize] = v;
         }
         m
     }
@@ -270,30 +271,39 @@ impl FuzzTarget for KvTarget {
     }
 
     fn recovery_script(&self, image: &MemoryImage) -> Result<Vec<RecoveryStep>, String> {
-        self.kv.recover(image).map(|_| Vec::new())
+        self.kv.recover_each(image, |_, _| {}).map(|()| Vec::new())
     }
 
     fn check(&self, image: &MemoryImage, completed: u64, begun: u64) -> Result<(), String> {
-        let mut recovered = std::collections::BTreeMap::new();
-        for (k, v) in self.kv.recover(image)? {
-            if recovered.insert(k, v).is_some() {
-                return Err(format!("key {k} recovered from two buckets"));
+        let mut recovered = [None; 9];
+        let mut bad: Option<String> = None;
+        self.kv.recover_each(image, |k, v| {
+            if bad.is_some() {
+                return;
             }
+            match recovered.get_mut(k as usize) {
+                Some(slot @ None) => *slot = Some(v),
+                Some(Some(_)) => bad = Some(format!("key {k} recovered from two buckets")),
+                None => bad = Some(format!("recovered key {k} was never written")),
+            }
+        })?;
+        if let Some(msg) = bad {
+            return Err(msg);
         }
         let expected = Self::expected_after(completed);
         // The in-flight operation's key may be before, after, or mid-update
         // (absent); every other key must match the completed prefix.
         let in_flight = (begun > completed).then(|| Self::op(completed).0);
         let after = Self::expected_after(completed + 1);
-        for key in 1..=8u64 {
-            let got = recovered.get(&key);
-            let want = expected.get(&key);
-            if Some(key) == in_flight {
-                let ok = got == want || got == after.get(&key) || got.is_none();
+        for key in 1..=8usize {
+            let got = recovered[key];
+            let want = expected[key];
+            if Some(key as u64) == in_flight {
+                let ok = got == want || got == after[key] || got.is_none();
                 if !ok {
                     return Err(format!(
                         "in-flight key {key}: recovered {got:?}, expected {want:?} or {:?} or absent",
-                        after.get(&key)
+                        after[key]
                     ));
                 }
             } else if got != want {
@@ -301,9 +311,6 @@ impl FuzzTarget for KvTarget {
                     "key {key}: recovered {got:?} but the completed prefix of {completed} ops gives {want:?}"
                 ));
             }
-        }
-        if let Some(stray) = recovered.keys().find(|k| !(1..=8).contains(*k)) {
-            return Err(format!("recovered key {stray} was never written"));
         }
         Ok(())
     }

@@ -285,6 +285,22 @@ impl PersistentKv {
     /// would allow.
     pub fn recover(&self, image: &MemoryImage) -> Result<Vec<(u64, u64)>, String> {
         let mut out = Vec::new();
+        self.recover_each(image, |k, v| out.push((k, v)))?;
+        Ok(out)
+    }
+
+    /// Streaming [`PersistentKv::recover`]: validates every `VALID` bucket
+    /// and hands each `(key, value)` to `sink` without allocating. The hot
+    /// path for the crash injector, which validates thousands of images.
+    ///
+    /// # Errors
+    ///
+    /// As [`PersistentKv::recover`].
+    pub fn recover_each(
+        &self,
+        image: &MemoryImage,
+        mut sink: impl FnMut(u64, u64),
+    ) -> Result<(), String> {
         for i in 0..self.buckets {
             let b = self.bucket(i);
             let state = image.read_u64(b.add(STATE)).map_err(|e| e.to_string())?;
@@ -302,9 +318,9 @@ impl PersistentKv {
             if key == 0 {
                 return Err(format!("bucket {i} is VALID with a null key"));
             }
-            out.push((key, value));
+            sink(key, value);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The crash-consistency invariant for [`persistency::crash::check`]:

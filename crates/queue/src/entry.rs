@@ -79,12 +79,23 @@ impl fmt::Display for EntryError {
 
 impl std::error::Error for EntryError {}
 
-/// FNV-1a over a byte slice.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-style multiply-xor checksum, folded a word at a time.
+///
+/// Recovery validates every entry the head pointer claims on every
+/// injected crash image, so this runs in the fuzzer's innermost loop;
+/// consuming 8 bytes per round instead of 1 cuts the dependent-multiply
+/// chain by 8× while keeping the property that matters: any altered,
+/// missing, or stale byte changes the sum.
+fn checksum64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(0x100_0000_01b3).rotate_left(23);
+    }
+    for &b in chunks.remainder() {
         h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_01b3);
+        h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
 }
@@ -102,7 +113,7 @@ impl EntryCodec {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             *b = (x >> 56) as u8;
         }
-        let ck = fnv1a(&p[..CKSUM_OFF]);
+        let ck = checksum64(&p[..CKSUM_OFF]);
         p[CKSUM_OFF..].copy_from_slice(&ck.to_le_bytes());
         p
     }
@@ -118,7 +129,7 @@ impl EntryCodec {
             return Err(EntryError::BadLength { found: payload.len() });
         }
         let stored_ck = u64::from_le_bytes(payload[CKSUM_OFF..].try_into().expect("8 bytes"));
-        if fnv1a(&payload[..CKSUM_OFF]) != stored_ck {
+        if checksum64(&payload[..CKSUM_OFF]) != stored_ck {
             return Err(EntryError::BadChecksum);
         }
         let found_slot = u64::from_le_bytes(payload[SLOT_OFF..SLOT_OFF + 8].try_into().expect("8 bytes"));

@@ -39,6 +39,29 @@ pub struct RecoveredQueue {
 /// pointer, a wrong entry length, or an entry failing slot/lap/checksum
 /// validation.
 pub fn recover(image: &MemoryImage, layout: &QueueLayout) -> Result<RecoveredQueue, String> {
+    let mut entries = Vec::new();
+    let head_bytes = recover_each(image, layout, |e| entries.push(e))?;
+    Ok(RecoveredQueue { head_bytes, entries })
+}
+
+/// Validates the queue like [`recover`] but returns only the persisted
+/// head pointer, allocating nothing. The hot path for callers (the crash
+/// injector) that validate thousands of images and never look at entries.
+///
+/// # Errors
+///
+/// As [`recover`].
+pub fn recover_head(image: &MemoryImage, layout: &QueueLayout) -> Result<u64, String> {
+    recover_each(image, layout, |_| {})
+}
+
+/// Shared recovery walk: validates every recoverable entry, handing each
+/// to `sink`, and returns the persisted head pointer.
+fn recover_each(
+    image: &MemoryImage,
+    layout: &QueueLayout,
+    mut sink: impl FnMut(RecoveredEntry),
+) -> Result<u64, String> {
     let slot_bytes = QueueParams::SLOT_BYTES;
     let cap = layout.params.capacity_bytes();
     let head = image.read_u64(layout.head).map_err(|e| e.to_string())?;
@@ -54,7 +77,7 @@ pub fn recover(image: &MemoryImage, layout: &QueueLayout) -> Result<RecoveredQue
     let unsafe_end = (head + margin * slot_bytes).saturating_sub(cap).min(head);
     let safe_start = window_start.max(unsafe_end);
     let valid = (head - safe_start) / slot_bytes;
-    let mut entries = Vec::with_capacity(valid as usize);
+    let mut payload = [0u8; PAYLOAD_BYTES];
     for k in 0..valid {
         // Absolute byte position of the k-th oldest recoverable entry.
         let p = head - (valid - k) * slot_bytes;
@@ -67,13 +90,12 @@ pub fn recover(image: &MemoryImage, layout: &QueueLayout) -> Result<RecoveredQue
                 "entry at slot {slot} (lap {lap}) has length {len}, expected {PAYLOAD_BYTES}"
             ));
         }
-        let mut payload = vec![0u8; PAYLOAD_BYTES];
         image.read(base.add(8), &mut payload).map_err(|e| e.to_string())?;
         EntryCodec::validate(&payload, slot, lap)
             .map_err(|e| format!("entry at slot {slot} (lap {lap}): {e}"))?;
-        entries.push(RecoveredEntry { slot_offset: slot, lap });
+        sink(RecoveredEntry { slot_offset: slot, lap });
     }
-    Ok(RecoveredQueue { head_bytes: head, entries })
+    Ok(head)
 }
 
 /// Builds the crash-consistency invariant for a queue layout, suitable for

@@ -143,12 +143,18 @@ impl<S> std::fmt::Debug for ThreadCtx<'_, S> {
 /// One locked shard: its index and the guard over its word map.
 type LockedShard<'g> = (usize, MutexGuard<'g, FxHashMap<u64, u64>>);
 
-/// Locked view of the (up to two) word shards an access touches.
+/// Word-granular access to some locked subset of the shards.
+trait WordAccess {
+    fn get(&mut self, key: u64) -> u64;
+    fn set(&mut self, key: u64, value: u64);
+}
+
+/// Locked view of the (up to two) word shards a single access touches.
 struct WordView<'g> {
     guards: [Option<LockedShard<'g>>; 2],
 }
 
-impl WordView<'_> {
+impl WordAccess for WordView<'_> {
     fn get(&mut self, key: u64) -> u64 {
         let shard = shard_of(key);
         for g in self.guards.iter_mut().flatten() {
@@ -169,6 +175,70 @@ impl WordView<'_> {
         }
         unreachable!("word key outside locked shards");
     }
+}
+
+/// Locked view over every distinct shard a bulk access touches, each
+/// locked exactly once. Guards are kept sorted by shard index (they were
+/// acquired in ascending order to avoid deadlock), so lookups are a
+/// binary search.
+struct ShardView<'g> {
+    guards: Vec<LockedShard<'g>>,
+}
+
+impl<'g> ShardView<'g> {
+    /// Locks `shards` (ascending, deduplicated) of `pool`.
+    fn lock(pool: &'g [Mutex<FxHashMap<u64, u64>>], shards: &[usize]) -> Self {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "shards must be sorted unique");
+        ShardView { guards: shards.iter().map(|&s| (s, pool[s].lock().unwrap())).collect() }
+    }
+}
+
+impl WordAccess for ShardView<'_> {
+    fn get(&mut self, key: u64) -> u64 {
+        let shard = shard_of(key);
+        let i = self
+            .guards
+            .binary_search_by_key(&shard, |g| g.0)
+            .expect("word key outside locked shards");
+        self.guards[i].1.get(&key).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, key: u64, value: u64) {
+        let shard = shard_of(key);
+        let i = self
+            .guards
+            .binary_search_by_key(&shard, |g| g.0)
+            .expect("word key outside locked shards");
+        self.guards[i].1.insert(key, value);
+    }
+}
+
+/// Splits `[addr, addr + len)` into the word-aligned chunks the traced
+/// `COPY`/`READ` decompose into: 8 bytes where alignment allows, smaller
+/// head/tail chunks at unaligned boundaries.
+fn bulk_chunks(addr: MemAddr, len: usize) -> impl Iterator<Item = (MemAddr, u8)> {
+    let mut off = 0usize;
+    std::iter::from_fn(move || {
+        if off >= len {
+            return None;
+        }
+        let a = addr.add(off as u64);
+        let to_boundary = 8 - (a.offset() % 8) as usize;
+        let n = to_boundary.min(len - off).min(8);
+        off += n;
+        Some((a, n as u8))
+    })
+}
+
+/// The distinct word shards `[addr, addr + len)` touches, ascending.
+fn bulk_shards(addr: MemAddr, len: usize) -> Vec<usize> {
+    let first = addr.offset() / 8;
+    let last = (addr.offset() + len as u64 - 1) / 8;
+    let mut shards: Vec<usize> =
+        (first..=last).map(|w| shard_of(word_key(MemAddr::new(addr.space(), w * 8)))).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
 }
 
 impl<'m, S: Scheduler> ThreadCtx<'m, S> {
@@ -222,7 +292,7 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
         out.expect("scheduler must run the turn closure")
     }
 
-    fn read_raw(view: &mut WordView<'_>, addr: MemAddr, len: u8) -> u64 {
+    fn read_raw(view: &mut impl WordAccess, addr: MemAddr, len: u8) -> u64 {
         let mut v = 0u64;
         for i in 0..len as u64 {
             let a = addr.add(i);
@@ -233,7 +303,7 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
         v
     }
 
-    fn write_raw(view: &mut WordView<'_>, addr: MemAddr, len: u8, value: u64) {
+    fn write_raw(view: &mut impl WordAccess, addr: MemAddr, len: u8, value: u64) {
         for i in 0..len as u64 {
             let a = addr.add(i);
             let key = word_key(a);
@@ -322,35 +392,64 @@ impl<'m, S: Scheduler> ThreadCtx<'m, S> {
     /// equivalent of the paper's `COPY(data[head], (length, entry), ...)`.
     /// Chunks are 8 bytes where alignment allows, with smaller head/tail
     /// stores at unaligned boundaries.
+    ///
+    /// The whole copy runs in one scheduler turn: every distinct word
+    /// shard it touches is locked exactly once (in ascending order), the
+    /// chunk stores reserve a contiguous block of sequence numbers, and
+    /// one `Store` event per chunk is recorded — instead of a turn plus a
+    /// lock/unlock round per word.
     pub fn copy_bytes(&self, dst: MemAddr, data: &[u8]) {
-        let mut off = 0usize;
-        while off < data.len() {
-            let a = dst.add(off as u64);
-            // Largest chunk that does not cross an 8-byte boundary.
-            let to_boundary = 8 - (a.offset() % 8) as usize;
-            let n = to_boundary.min(data.len() - off).min(8);
-            let mut v = 0u64;
-            for (i, &b) in data[off..off + n].iter().enumerate() {
-                v |= (b as u64) << (i * 8);
+        if data.is_empty() {
+            return;
+        }
+        let chunks: Vec<(MemAddr, u8, u64)> = bulk_chunks(dst, data.len())
+            .map(|(a, n)| {
+                let off = (a.offset() - dst.offset()) as usize;
+                let mut v = 0u64;
+                for (i, &b) in data[off..off + n as usize].iter().enumerate() {
+                    v |= (b as u64) << (i * 8);
+                }
+                (a, n, v)
+            })
+            .collect();
+        let shards = bulk_shards(dst, data.len());
+        let mut seq0 = 0u64;
+        self.inner.sched.with_turn(self.tid, &mut || {
+            let mut view = ShardView::lock(&self.inner.shards, &shards);
+            seq0 = self.inner.seq.fetch_add(chunks.len() as u64, Ordering::Relaxed);
+            for &(a, n, v) in &chunks {
+                Self::write_raw(&mut view, a, n, v);
             }
-            self.store_n(a, n as u8, v);
-            off += n;
+        });
+        for (i, &(a, n, v)) in chunks.iter().enumerate() {
+            self.record(seq0 + i as u64, Op::Store { addr: a, len: n, value: v });
         }
     }
 
     /// Reads `out.len()` bytes starting at `addr` as a sequence of word
-    /// loads.
+    /// loads. Like [`ThreadCtx::copy_bytes`], the whole read runs in one
+    /// scheduler turn with each touched shard locked once.
     pub fn read_bytes(&self, addr: MemAddr, out: &mut [u8]) {
-        let mut off = 0usize;
-        while off < out.len() {
-            let a = addr.add(off as u64);
-            let to_boundary = 8 - (a.offset() % 8) as usize;
-            let n = to_boundary.min(out.len() - off).min(8);
-            let v = self.load_n(a, n as u8);
-            for i in 0..n {
-                out[off + i] = ((v >> (i * 8)) & 0xFF) as u8;
+        if out.is_empty() {
+            return;
+        }
+        let mut chunks: Vec<(MemAddr, u8, u64)> =
+            bulk_chunks(addr, out.len()).map(|(a, n)| (a, n, 0)).collect();
+        let shards = bulk_shards(addr, out.len());
+        let mut seq0 = 0u64;
+        self.inner.sched.with_turn(self.tid, &mut || {
+            let mut view = ShardView::lock(&self.inner.shards, &shards);
+            seq0 = self.inner.seq.fetch_add(chunks.len() as u64, Ordering::Relaxed);
+            for (a, n, v) in chunks.iter_mut() {
+                *v = Self::read_raw(&mut view, *a, *n);
             }
-            off += n;
+        });
+        for (i, &(a, n, v)) in chunks.iter().enumerate() {
+            let off = (a.offset() - addr.offset()) as usize;
+            for j in 0..n as usize {
+                out[off + j] = ((v >> (j * 8)) & 0xFF) as u8;
+            }
+            self.record(seq0 + i as u64, Op::Load { addr: a, len: n, value: v });
         }
     }
 

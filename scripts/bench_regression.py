@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate perfbench output against the checked-in baseline.
+
+Compares the throughput series of a fresh ``BENCH_engine.json`` against
+``results/bench_baseline.json`` and exits nonzero only when a series
+regressed by more than the allowed factor (default 2x). The loose bound
+is deliberate: it tolerates hardware differences between CI runners and
+the machine that recorded the baseline, while still catching order-of-
+magnitude regressions (an accidentally quadratic path, a lost fast
+path).
+
+Usage: bench_regression.py CURRENT BASELINE [--max-regression 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+# Throughput series to gate (higher is better). Wall-clock fields are
+# skipped: they scale with the workload sizes the run was invoked with.
+SERIES = [
+    "scalar_engine.events_per_sec_oneshot",
+    "scalar_engine.events_per_sec_reused",
+    "dag_engine.events_per_sec",
+    "crash_fuzz.injections_per_sec.cwl",
+    "crash_fuzz.injections_per_sec.2lc",
+    "crash_fuzz.injections_per_sec.kv",
+    "crash_fuzz.injections_per_sec.txn",
+]
+
+
+def lookup(doc, path):
+    for key in path.split("."):
+        doc = doc[key]
+    return float(doc)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated BENCH_engine.json")
+    ap.add_argument("baseline", help="checked-in baseline (results/bench_baseline.json)")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when baseline/current exceeds this factor (default 2.0)",
+    )
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failed = []
+    print(f"{'series':<45} {'baseline':>12} {'current':>12}  ratio")
+    for path in SERIES:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if cur * args.max_regression < base:
+            flag = f"  REGRESSED >{args.max_regression:g}x"
+            failed.append(path)
+        print(f"{path:<45} {base:>12.0f} {cur:>12.0f}  {ratio:5.2f}x{flag}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} series regressed by more than "
+              f"{args.max_regression:g}x: {', '.join(failed)}")
+        return 1
+    print(f"\nOK: no series regressed by more than {args.max_regression:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
