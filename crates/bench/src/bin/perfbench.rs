@@ -2,6 +2,9 @@
 //!
 //! Measures, on a canonical seeded queue trace:
 //!
+//! - trace-capture throughput (paged shards + k-way merge) on a standard
+//!   insert mix at 1 and 4 threads, plus MPTRACE1/MPTRACE2 serialize and
+//!   deserialize bandwidth and bytes/event;
 //! - scalar-level (timing) engine throughput in events/sec, both one-shot
 //!   (fresh scratch per run) and with a reused [`timing::Analyzer`];
 //! - DAG engine throughput in events/sec;
@@ -19,6 +22,8 @@
 
 use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
 use bench::SweepRunner;
+use mem_trace::{io as trace_io, FreeRunScheduler, ThreadCtx, TracedMem};
+use persist_mem::MemAddr;
 use persistency::dag::PersistDag;
 use persistency::{timing, AnalysisConfig, Model};
 use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, Structure};
@@ -36,6 +41,38 @@ const BASELINE_DAG_EPS: f64 = 5_959_373.0;
 /// 16 ops, epoch, multi-crash on, one worker).
 const BASELINE_FUZZ_IPS: [(&str, f64); 4] =
     [("cwl", 326_181.0), ("2lc", 397_999.0), ("kv", 751_758.0), ("txn", 450_248.0)];
+
+/// Capture throughput of the pre-overhaul pipeline (hash-map shards,
+/// sort-based merge, 48-byte buffer entries), measured on the same
+/// standard insert mix at 20k total inserts. The ≥2x capture speedup the
+/// overhaul claims is reported against these.
+const BASELINE_CAPTURE_EPS: [(u32, f64); 2] = [(1, 6_532_533.0), (4, 5_117_423.0)];
+
+/// Pre-overhaul MPTRACE1 serialization on the 1-thread capture:
+/// (bytes/event, write MB/s, read MB/s).
+const BASELINE_V1_SERIALIZE: (f64, f64, f64) = (24.65, 4_759.0, 3_805.0);
+
+/// Standard capture-throughput workload: a persistent insert mix (lock,
+/// 100-byte payload copy, index store, barrier, readback, unlock) — 20
+/// events per insert. Kept identical to the pre-overhaul probe that
+/// recorded [`BASELINE_CAPTURE_EPS`].
+fn capture_mix(ctx: &ThreadCtx<'_, FreeRunScheduler>, inserts: u64) {
+    let t = ctx.thread_id().as_u64();
+    let base = MemAddr::persistent(1 << 20).add(t * (1 << 16));
+    let lock = MemAddr::volatile(64 * t);
+    let payload = [0xA5u8; 100];
+    for i in 0..inserts {
+        ctx.work_begin(i);
+        ctx.cas_u64(lock, 0, 1);
+        let slot = base.add((i % 512) * 128);
+        ctx.copy_bytes(slot, &payload);
+        ctx.store_u64(slot.add(104), i);
+        ctx.persist_barrier();
+        ctx.load_u64(slot.add(104));
+        ctx.store_u64(lock, 0);
+        ctx.work_end(i);
+    }
+}
 
 fn arg(flag: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -128,6 +165,53 @@ fn main() {
     let out_path = arg_str("--out", "BENCH_engine.json");
     let runner = SweepRunner::from_env();
 
+    // --- Capture throughput (paged shards + k-way merge) and trace
+    //     serialization bandwidth, against the pre-overhaul baseline. ---
+    let capture_inserts = arg("--capture-inserts", 20_000);
+    let mut capture_rows: Vec<(u32, u64, f64, f64)> = Vec::new(); // (threads, events, eps, merge_sec)
+    let mut capture_trace_1t = None;
+    for &(threads, _) in &BASELINE_CAPTURE_EPS {
+        let mut best_sec = f64::INFINITY;
+        let mut best = None;
+        for _ in 0..=5 {
+            let t0 = Instant::now();
+            let (trace, stats) = TracedMem::new(FreeRunScheduler)
+                .run_timed(threads, |ctx| capture_mix(ctx, capture_inserts / threads as u64));
+            let sec = t0.elapsed().as_secs_f64();
+            if sec < best_sec {
+                best_sec = sec;
+                best = Some((trace, stats));
+            }
+        }
+        let (trace, stats) = best.unwrap();
+        let events = trace.events().len() as u64;
+        capture_rows.push((threads, events, events as f64 / best_sec, stats.merge_seconds));
+        if threads == 1 {
+            capture_trace_1t = Some(trace);
+        }
+    }
+    let capture_trace = capture_trace_1t.expect("1-thread capture row always measured");
+    let capture_events_1t = capture_trace.events().len() as f64;
+    // Serialize/deserialize bandwidth for both formats, on the 1t capture.
+    let serialize_row = |v2: bool| -> (f64, f64, f64) {
+        let mut buf = Vec::new();
+        let wsec = best_of(5, || {
+            buf.clear();
+            if v2 {
+                trace_io::write_trace2(&capture_trace, &mut buf).unwrap();
+            } else {
+                trace_io::write_trace(&capture_trace, &mut buf).unwrap();
+            }
+        });
+        let rsec = best_of(5, || {
+            std::hint::black_box(trace_io::read_trace(buf.as_slice()).unwrap());
+        });
+        let mb = buf.len() as f64 / 1e6;
+        (buf.len() as f64 / capture_events_1t, mb / wsec, mb / rsec)
+    };
+    let v1 = serialize_row(false);
+    let v2 = serialize_row(true);
+
     // --- Engine microbenchmarks on the canonical queue trace. ---
     let w = StdWorkload::figure(1, inserts);
     let (trace, _) = cwl_trace(&w, BarrierMode::Full);
@@ -205,6 +289,55 @@ fn main() {
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"schema\": \"bench_engine_v2\",").unwrap();
     writeln!(json, "  \"workers_configured\": {},", runner.workers()).unwrap();
+    writeln!(json, "  \"capture\": {{").unwrap();
+    writeln!(json, "    \"inserts\": {capture_inserts},").unwrap();
+    writeln!(json, "    \"events_per_sec\": {{").unwrap();
+    for (i, (t, _, eps, _)) in capture_rows.iter().enumerate() {
+        let comma = if i + 1 < capture_rows.len() { "," } else { "" };
+        writeln!(json, "      \"t{t}\": {eps:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"baseline_events_per_sec\": {{").unwrap();
+    for (i, (t, eps)) in BASELINE_CAPTURE_EPS.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_CAPTURE_EPS.len() { "," } else { "" };
+        writeln!(json, "      \"t{t}\": {eps:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"speedup_vs_baseline\": {{").unwrap();
+    for (i, (t, _, eps, _)) in capture_rows.iter().enumerate() {
+        let base = BASELINE_CAPTURE_EPS.iter().find(|(bt, _)| bt == t).unwrap().1;
+        let comma = if i + 1 < capture_rows.len() { "," } else { "" };
+        writeln!(json, "      \"t{t}\": {:.2}{comma}", eps / base).unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"merge_sec\": {{").unwrap();
+    for (i, (t, _, _, msec)) in capture_rows.iter().enumerate() {
+        let comma = if i + 1 < capture_rows.len() { "," } else { "" };
+        writeln!(json, "      \"t{t}\": {msec:.5}{comma}").unwrap();
+    }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"serialize\": {{").unwrap();
+    writeln!(
+        json,
+        "      \"v1\": {{\"bytes_per_event\": {:.2}, \"write_mb_per_sec\": {:.0}, \"read_mb_per_sec\": {:.0}}},",
+        v1.0, v1.1, v1.2
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"v2\": {{\"bytes_per_event\": {:.2}, \"write_mb_per_sec\": {:.0}, \"read_mb_per_sec\": {:.0}}},",
+        v2.0, v2.1, v2.2
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"baseline_v1\": {{\"bytes_per_event\": {:.2}, \"write_mb_per_sec\": {:.0}, \"read_mb_per_sec\": {:.0}}},",
+        BASELINE_V1_SERIALIZE.0, BASELINE_V1_SERIALIZE.1, BASELINE_V1_SERIALIZE.2
+    )
+    .unwrap();
+    writeln!(json, "      \"v2_vs_v1_bytes_ratio\": {:.3}", v2.0 / v1.0).unwrap();
+    writeln!(json, "    }}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"scalar_engine\": {{").unwrap();
     writeln!(json, "    \"events\": {scalar_events},").unwrap();
     writeln!(json, "    \"events_per_sec_oneshot\": {scalar_oneshot_eps:.0},").unwrap();
@@ -258,6 +391,27 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
 
+    println!("capture throughput (insert mix, {capture_inserts} inserts):");
+    for (t, events, eps, msec) in &capture_rows {
+        let base = BASELINE_CAPTURE_EPS.iter().find(|(bt, _)| bt == t).unwrap().1;
+        println!(
+            "  {t}t: {eps:>12.0} events/s  ({:.2}x baseline, {events} events, merge {:.2} ms)",
+            eps / base,
+            msec * 1e3
+        );
+    }
+    println!(
+        "  mptrace1: {:.2} B/event, write {:.0} MB/s, read {:.0} MB/s",
+        v1.0, v1.1, v1.2
+    );
+    println!(
+        "  mptrace2: {:.2} B/event ({:.2}x smaller), write {:.0} MB/s, read {:.0} MB/s",
+        v2.0,
+        v1.0 / v2.0,
+        v2.1,
+        v2.2
+    );
+    println!();
     println!("engine throughput (canonical CWL trace, {} events):", scalar_events);
     println!("  scalar one-shot : {scalar_oneshot_eps:>12.0} events/s");
     println!("  scalar reused   : {scalar_reused_eps:>12.0} events/s");

@@ -5,17 +5,21 @@
 //!
 //! ```text
 //! psim capture --queue cwl --mode full --threads 2 --inserts 100 \
-//!              --seed 42 --out /tmp/run.trace
+//!              --seed 42 --out /tmp/run.trace [--format 1|2]
 //! psim analyze --trace /tmp/run.trace --model epoch [--atomic 64] [--tracking 8]
 //! psim cuts    --trace /tmp/run.trace --model epoch --samples 200
 //! psim crash   --trace /tmp/run.trace --model strand
 //! psim crash-fuzz --structure all --model all --injections 1000 --seed 7
 //! ```
 //!
-//! `capture` writes a `.meta` sidecar recording the queue layout so
-//! `crash` can run the queue's recovery invariant later. `crash-fuzz`
-//! needs no trace: it drives the native protocols through the `pfi`
-//! shadow backend and injects model-legal crashes directly.
+//! `capture` writes the compact MPTRACE2 format by default (`--format 1`
+//! selects the fixed-width MPTRACE1); every reading subcommand
+//! auto-detects either format. `analyze` streams events straight off the
+//! file, so it handles traces larger than memory. `capture` also writes a
+//! `.meta` sidecar recording the queue layout so `crash` can run the
+//! queue's recovery invariant later. `crash-fuzz` needs no trace: it
+//! drives the native protocols through the `pfi` shadow backend and
+//! injects model-legal crashes directly.
 //!
 //! Analysis subcommands accept `--json` for machine-readable output, and
 //! exit nonzero when a consistency check fails.
@@ -84,6 +88,24 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     trace_io::read_trace(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
 }
 
+/// Opens a streaming reader over a serialized trace (either format).
+fn open_reader(path: &str) -> Result<trace_io::TraceReader<BufReader<File>>, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    trace_io::TraceReader::new(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
+}
+
+/// Serializes a capture in the selected format (`2` = MPTRACE2, default).
+fn write_capture(trace: &Trace, out: &str, format: u64) -> Result<(), String> {
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let w = BufWriter::new(f);
+    match format {
+        1 => trace_io::write_trace(trace, w),
+        2 => trace_io::write_trace2(trace, w),
+        other => return Err(format!("unknown --format {other}; use 1 or 2")),
+    }
+    .map_err(|e| format!("write {out}: {e}"))
+}
+
 fn config_from(args: &Args, model: Model) -> Result<AnalysisConfig, String> {
     let mut cfg = AnalysisConfig::new(model);
     if let Some(a) = args.get("--atomic") {
@@ -104,6 +126,7 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
     let seed = args.num("--seed", 42)?;
     let capacity = args.num("--capacity", (threads as u64 * inserts).next_power_of_two().max(64))?;
     let out = args.required("--out")?;
+    let format = args.num("--format", 2)?;
 
     let params = QueueParams::new(capacity);
     let (trace, layout): (Trace, QueueLayout) = match queue {
@@ -127,9 +150,7 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
                 inserts,
             );
             trace.validate_sc().map_err(|e| format!("non-SC capture: {e}"))?;
-            let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-            trace_io::write_trace(&trace, BufWriter::new(f))
-                .map_err(|e| format!("write {out}: {e}"))?;
+            write_capture(&trace, out, format)?;
             let meta = format!(
                 "queue=bounded\nhead={}\ntail={}\ndata={}\ncapacity_entries={}\nrecovery_margin=0\n",
                 blayout.head.to_bits(),
@@ -151,8 +172,7 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
     };
     trace.validate_sc().map_err(|e| format!("capture produced a non-SC trace: {e}"))?;
 
-    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    trace_io::write_trace(&trace, BufWriter::new(f)).map_err(|e| format!("write {out}: {e}"))?;
+    write_capture(&trace, out, format)?;
     // Sidecar metadata for `crash`.
     let meta = format!(
         "queue={queue}\nhead={}\ndata={}\ncapacity_entries={}\nrecovery_margin={}\n",
@@ -195,8 +215,14 @@ fn load_layout(path: &str) -> Result<QueueLayout, String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let trace = load_trace(args.required("--trace")?)?;
-    let profile = mem_trace::profile::TraceProfile::of(&trace);
+    // Fully streaming: the profile and each model's analysis are separate
+    // forward passes over the file, never materializing the event vector.
+    let path = args.required("--trace")?;
+    let profile = mem_trace::profile::TraceProfile::of_source(open_reader(path)?)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let analyze_streaming = |cfg: &AnalysisConfig| -> Result<timing::TimingReport, String> {
+        timing::analyze_source(open_reader(path)?, cfg).map_err(|e| format!("read {path}: {e}"))
+    };
     let models: Vec<Model> = match args.get("--model") {
         Some(m) => vec![parse_model(m)?],
         None => Model::ALL.to_vec(),
@@ -205,7 +231,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         let mut rows = Vec::new();
         for model in models {
             let cfg = config_from(args, model)?;
-            let r = timing::analyze(&trace, &cfg);
+            let r = analyze_streaming(&cfg)?;
             rows.push(format!(
                 "    {{\"model\": \"{}\", \"critical_path\": {}, \"critical_path_per_insert\": {:.3}, \"persists\": {}, \"coalesced\": {}, \"barriers\": {}}}",
                 model,
@@ -243,7 +269,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     );
     for model in models {
         let cfg = config_from(args, model)?;
-        let r = timing::analyze(&trace, &cfg);
+        let r = analyze_streaming(&cfg)?;
         println!(
             "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
             model.to_string(),
@@ -433,7 +459,7 @@ fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     "usage: psim <capture|analyze|cuts|crash|crash-fuzz> [flags]\n\
      capture:    --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
-                 [--seed N] [--capacity N] --out FILE\n\
+                 [--seed N] [--capacity N] --out FILE [--format 1|2]  (2 = compact MPTRACE2)\n\
      analyze:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--json]\n\
      cuts:       --trace FILE [--model NAME] [--samples N] [--seed N] [--json]\n\
      crash:      --trace FILE [--model NAME] [--samples N] [--seed N] [--json]\n\

@@ -20,9 +20,10 @@
 
 use crate::domain::{Domain, EventRef, WriteRec};
 use crate::{AnalysisConfig, Model};
-use mem_trace::{Op, Trace};
+use mem_trace::{EventSource, Op, Trace};
 use persist_mem::FxHashMap;
 use std::collections::hash_map::Entry;
+use std::io;
 
 struct ThreadState<D: Domain> {
     /// Constraints ordering all future persists of this thread.
@@ -106,26 +107,54 @@ impl<D: Domain> Scratch<D> {
     }
 }
 
-/// Runs the propagation over `trace` under `config`, driving `dom`.
-/// `scratch` carries reusable engine state across runs; pass a fresh
-/// [`Scratch`] for one-shot analysis.
+/// Runs the propagation over an in-memory `trace` under `config`, driving
+/// `dom`. `scratch` carries reusable engine state across runs; pass a
+/// fresh [`Scratch`] for one-shot analysis.
 pub(crate) fn run_with<D: Domain>(
     trace: &Trace,
     config: &AnalysisConfig,
     dom: &mut D,
     scratch: &mut Scratch<D>,
 ) -> EngineStats {
+    run_with_source(trace.source(), config, dom, scratch)
+        .expect("in-memory trace sources cannot fail")
+}
+
+/// Runs the propagation over a streaming event `source` — one forward
+/// pass, so arbitrarily large serialized traces analyze in constant
+/// memory (beyond the block tables the analysis itself needs).
+///
+/// # Errors
+///
+/// Propagates the source's decode/I/O errors, and returns `InvalidData`
+/// if an event names a thread outside `source.thread_count()`.
+pub(crate) fn run_with_source<D: Domain, E: EventSource>(
+    mut source: E,
+    config: &AnalysisConfig,
+    dom: &mut D,
+    scratch: &mut Scratch<D>,
+) -> io::Result<EngineStats> {
     let model = config.model;
     let tracking = config.tracking;
     let atomic = config.atomic_persist;
 
-    scratch.reset(dom, trace.thread_count() as usize);
+    let nthreads = source.thread_count() as usize;
+    scratch.reset(dom, nthreads);
     let Scratch { threads, blocks, last_persist, input, out } = scratch;
     let mut stats = EngineStats::default();
 
-    for (index, e) in trace.events().iter().enumerate() {
+    let mut next_index = 0usize;
+    while let Some(e) = source.next_event()? {
+        let index = next_index;
+        next_index += 1;
         stats.events += 1;
         let t = e.thread.index();
+        if t >= nthreads {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("event {index} names thread {t}, but the trace has {nthreads} threads"),
+            ));
+        }
         match e.op {
             Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
                 let is_read = e.op.is_read();
@@ -288,7 +317,7 @@ pub(crate) fn run_with<D: Domain>(
             Op::PAlloc { .. } | Op::PFree { .. } => {}
         }
     }
-    stats
+    Ok(stats)
 }
 
 /// Folds a thread's epoch-local constraint into its per-thread prefix at a

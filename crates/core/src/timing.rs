@@ -17,7 +17,8 @@
 use crate::domain::{Domain, EventRef, WriteRec};
 use crate::engine::{self, EngineStats};
 use crate::AnalysisConfig;
-use mem_trace::Trace;
+use mem_trace::{EventSource, Trace};
+use std::io;
 
 /// Scalar level domain: a dependence is summarized by the maximum level of
 /// any persist that must happen before.
@@ -122,6 +123,20 @@ pub fn analyze(trace: &Trace, config: &AnalysisConfig) -> TimingReport {
     Analyzer::new().analyze(trace, config)
 }
 
+/// Computes the critical path from a streaming event source (e.g. an
+/// [`io::TraceReader`](mem_trace::io::TraceReader) over a serialized
+/// trace) without materializing the trace in memory.
+///
+/// # Errors
+///
+/// Propagates the source's decode/I/O errors.
+pub fn analyze_source<E: EventSource>(
+    source: E,
+    config: &AnalysisConfig,
+) -> io::Result<TimingReport> {
+    Analyzer::new().analyze_source(source, config)
+}
+
 /// Reusable timing analyzer.
 ///
 /// Keeps the engine's working state (block hash tables, per-thread
@@ -141,14 +156,29 @@ impl Analyzer {
     /// Computes the critical path of `trace` under `config`, reusing
     /// scratch capacity from previous calls.
     pub fn analyze(&mut self, trace: &Trace, config: &AnalysisConfig) -> TimingReport {
+        self.analyze_source(trace.source(), config)
+            .expect("in-memory trace sources cannot fail")
+    }
+
+    /// Streaming variant of [`Analyzer::analyze`]: one forward pass over
+    /// `source`, constant memory beyond the engine's block tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's decode/I/O errors.
+    pub fn analyze_source<E: EventSource>(
+        &mut self,
+        source: E,
+        config: &AnalysisConfig,
+    ) -> io::Result<TimingReport> {
         let mut dom = LevelDomain::default();
-        let stats = engine::run_with(trace, config, &mut dom, &mut self.scratch);
-        TimingReport {
+        let stats = engine::run_with_source(source, config, &mut dom, &mut self.scratch)?;
+        Ok(TimingReport {
             config: *config,
             critical_path: dom.max_level,
             persist_nodes: dom.nodes,
             stats,
-        }
+        })
     }
 }
 

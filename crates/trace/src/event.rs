@@ -175,8 +175,117 @@ impl fmt::Display for Event {
     }
 }
 
+/// Operation tags shared by the packed in-memory form and the serialized
+/// trace formats (the MPTRACE1 wire values; do not renumber).
+pub(crate) mod tag {
+    pub const LOAD: u8 = 0;
+    pub const STORE: u8 = 1;
+    pub const RMW: u8 = 2;
+    pub const PBARRIER: u8 = 3;
+    pub const MBARRIER: u8 = 4;
+    pub const NEWSTRAND: u8 = 5;
+    pub const PSYNC: u8 = 6;
+    pub const PALLOC: u8 = 7;
+    pub const PFREE: u8 = 8;
+    pub const WBEGIN: u8 = 9;
+    pub const WEND: u8 = 10;
+}
+
+/// A fixed-size, 32-byte packed [`Event`].
+///
+/// The capture executor's per-thread buffers store events in this form
+/// (plus an 8-byte sequence stamp), shrinking the hot-path append from the
+/// 40-byte enum representation to a flat 4×`u64` record. Layout of `meta`:
+/// tag in bits 0..4, access length in bits 4..8, thread in bits 8..24,
+/// program-order index in bits 24..56. `a`/`b`/`c` carry the operation's
+/// address/id, value/old/size, and new value respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct PackedEvent {
+    meta: u64,
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+const _: () = assert!(core::mem::size_of::<PackedEvent>() == 32, "PackedEvent must stay 32 bytes");
+const _: () = assert!(core::mem::align_of::<PackedEvent>() == 8);
+
+impl PackedEvent {
+    /// Maximum number of threads representable in the packed form (the
+    /// thread id occupies 16 bits of `meta`).
+    pub const MAX_THREADS: u32 = 1 << 16;
+
+    /// Packs an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's thread id is ≥ [`PackedEvent::MAX_THREADS`].
+    #[inline]
+    pub fn pack(e: &Event) -> Self {
+        assert!(e.thread.0 < Self::MAX_THREADS, "packed events support at most 2^16 threads");
+        let (t, len, a, b, c) = match e.op {
+            Op::Load { addr, len, value } => (tag::LOAD, len, addr.to_bits(), value, 0),
+            Op::Store { addr, len, value } => (tag::STORE, len, addr.to_bits(), value, 0),
+            Op::Rmw { addr, len, old, new } => (tag::RMW, len, addr.to_bits(), old, new),
+            Op::PersistBarrier => (tag::PBARRIER, 0, 0, 0, 0),
+            Op::MemBarrier => (tag::MBARRIER, 0, 0, 0, 0),
+            Op::NewStrand => (tag::NEWSTRAND, 0, 0, 0, 0),
+            Op::PersistSync => (tag::PSYNC, 0, 0, 0, 0),
+            Op::PAlloc { addr, size } => (tag::PALLOC, 0, addr.to_bits(), size, 0),
+            Op::PFree { addr } => (tag::PFREE, 0, addr.to_bits(), 0, 0),
+            Op::WorkBegin { id } => (tag::WBEGIN, 0, id, 0, 0),
+            Op::WorkEnd { id } => (tag::WEND, 0, id, 0, 0),
+        };
+        PackedEvent {
+            meta: t as u64
+                | ((len as u64) << 4)
+                | ((e.thread.0 as u64) << 8)
+                | ((e.po as u64) << 24),
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// The issuing thread.
+    #[inline]
+    pub fn thread(&self) -> ThreadId {
+        ThreadId(((self.meta >> 8) & 0xFFFF) as u32)
+    }
+
+    /// The program-order index.
+    #[inline]
+    pub fn po(&self) -> u32 {
+        ((self.meta >> 24) & 0xFFFF_FFFF) as u32
+    }
+
+    /// Unpacks back into the enum representation.
+    #[inline]
+    pub fn unpack(&self) -> Event {
+        let len = ((self.meta >> 4) & 0xF) as u8;
+        let op = match (self.meta & 0xF) as u8 {
+            tag::LOAD => Op::Load { addr: MemAddr::from_bits(self.a), len, value: self.b },
+            tag::STORE => Op::Store { addr: MemAddr::from_bits(self.a), len, value: self.b },
+            tag::RMW => {
+                Op::Rmw { addr: MemAddr::from_bits(self.a), len, old: self.b, new: self.c }
+            }
+            tag::PBARRIER => Op::PersistBarrier,
+            tag::MBARRIER => Op::MemBarrier,
+            tag::NEWSTRAND => Op::NewStrand,
+            tag::PSYNC => Op::PersistSync,
+            tag::PALLOC => Op::PAlloc { addr: MemAddr::from_bits(self.a), size: self.b },
+            tag::PFREE => Op::PFree { addr: MemAddr::from_bits(self.a) },
+            tag::WBEGIN => Op::WorkBegin { id: self.a },
+            tag::WEND => Op::WorkEnd { id: self.a },
+            _ => unreachable!("corrupt packed event tag"),
+        };
+        Event { thread: self.thread(), po: self.po(), op }
+    }
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     #[test]
@@ -203,6 +312,41 @@ mod tests {
         assert_eq!(Op::NewStrand.access(), None);
         assert_eq!(Op::PersistSync.access(), None);
         assert!(!Op::PersistBarrier.is_write());
+    }
+
+    /// One op of every variant, with unaligned widths and both spaces.
+    pub(crate) fn all_op_variants() -> Vec<Op> {
+        vec![
+            Op::Load { addr: MemAddr::persistent(13), len: 3, value: 0xABCDEF },
+            Op::Store { addr: MemAddr::volatile(64), len: 8, value: u64::MAX },
+            Op::Rmw { addr: MemAddr::persistent(0), len: 8, old: 7, new: 9 },
+            Op::PersistBarrier,
+            Op::MemBarrier,
+            Op::NewStrand,
+            Op::PersistSync,
+            Op::PAlloc { addr: MemAddr::persistent(4096), size: 128 },
+            Op::PFree { addr: MemAddr::persistent(4096) },
+            Op::WorkBegin { id: 42 },
+            Op::WorkEnd { id: u64::MAX },
+        ]
+    }
+
+    #[test]
+    fn packed_event_roundtrips_every_variant() {
+        for (i, op) in all_op_variants().into_iter().enumerate() {
+            let e = Event { thread: ThreadId(0xFFFF), po: u32::MAX - i as u32, op };
+            let p = PackedEvent::pack(&e);
+            assert_eq!(p.unpack(), e, "variant {op:?}");
+            assert_eq!(p.thread(), e.thread);
+            assert_eq!(p.po(), e.po);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^16 threads")]
+    fn packed_event_rejects_wide_thread_ids() {
+        let e = Event { thread: ThreadId(PackedEvent::MAX_THREADS), po: 0, op: Op::MemBarrier };
+        let _ = PackedEvent::pack(&e);
     }
 
     #[test]

@@ -3,28 +3,37 @@
 //! The paper's tracing framework is a standalone artifact ("our tracing
 //! framework is available online", §7); separating capture from analysis
 //! lets a slow instrumented run feed any number of persistency analyses.
-//! The format is a compact little-endian binary stream; both functions
-//! take readers/writers by value (pass `&mut` for reuse).
+//!
+//! Two formats share one reader:
+//!
+//! - **MPTRACE1** — fixed-width little-endian records (the original
+//!   format). Still written by [`write_trace`] and read back forever.
+//! - **MPTRACE2** — varint/delta-encoded ([`write_trace2`]): thread ids
+//!   and values are LEB128 varints, program-order indices and access
+//!   offsets are zigzag deltas against per-thread (and per-space)
+//!   predictors. Typical captures shrink to a fraction of the MPTRACE1
+//!   size; see `docs/mptrace2.md` for the byte-level spec.
+//!
+//! [`read_trace`] auto-detects the format from the magic. For streaming
+//! ingestion without materializing a [`Trace`], wrap a reader in
+//! [`TraceReader`] — it implements [`EventSource`] and decodes events one
+//! at a time. Wrap file handles in `BufReader`/`BufWriter`; both codecs
+//! issue many small reads/writes.
 
+use crate::event::tag;
+use crate::source::{collect_trace, EventSource};
 use crate::{Event, Op, ThreadId, Trace};
 use persist_mem::MemAddr;
 use std::io::{self, Read, Write};
 
-/// File magic: "MPTR" + format version 1.
+/// File magic of the fixed-width v1 format.
 const MAGIC: [u8; 8] = *b"MPTRACE1";
+/// File magic of the varint/delta v2 format.
+const MAGIC2: [u8; 8] = *b"MPTRACE2";
 
-/// Operation tags.
-const T_LOAD: u8 = 0;
-const T_STORE: u8 = 1;
-const T_RMW: u8 = 2;
-const T_PBARRIER: u8 = 3;
-const T_MBARRIER: u8 = 4;
-const T_NEWSTRAND: u8 = 5;
-const T_PSYNC: u8 = 6;
-const T_PALLOC: u8 = 7;
-const T_PFREE: u8 = 8;
-const T_WBEGIN: u8 = 9;
-const T_WEND: u8 = 10;
+/// Decoder cap on thread ids: bounds decode-state allocation for corrupt
+/// inputs (real captures are far below this).
+const MAX_THREADS: u64 = 1 << 20;
 
 fn w64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -56,7 +65,110 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Writes `trace` to `w` in the MPTRACE1 format.
+/// LEB128 varint encode.
+fn wvar(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+    let mut buf = [0u8; 10];
+    let mut i = 0;
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[i] = b;
+            i += 1;
+            break;
+        }
+        buf[i] = b | 0x80;
+        i += 1;
+    }
+    w.write_all(&buf[..i])
+}
+
+/// LEB128 varint decode; rejects overlong encodings past 64 bits.
+fn rvar(r: &mut impl Read) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = r8(r)?;
+        if shift == 63 && (b & 0x7F) > 1 {
+            return Err(bad("varint overflows 64 bits"));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(bad("varint too long"));
+        }
+    }
+}
+
+/// Zigzag fold: small ± deltas become small unsigned varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Per-thread codec predictors shared by the v2 encoder and decoder.
+#[derive(Clone, Copy)]
+struct ThreadCodec {
+    /// Last program-order index (−1 before the thread's first event); the
+    /// predictor is `prev_po + 1`, so dense program order encodes as 0.
+    prev_po: i64,
+    /// Last access offset per address space (volatile, persistent).
+    last_off: [u64; 2],
+}
+
+impl Default for ThreadCodec {
+    fn default() -> Self {
+        ThreadCodec { prev_po: -1, last_off: [0, 0] }
+    }
+}
+
+fn codec_state<'a>(st: &'a mut Vec<ThreadCodec>, thread: usize) -> &'a mut ThreadCodec {
+    if thread >= st.len() {
+        st.resize_with(thread + 1, ThreadCodec::default);
+    }
+    &mut st[thread]
+}
+
+/// Space index of an address (0 volatile, 1 persistent) — bit 3 of the v2
+/// tag byte's high nibble.
+fn space_of(addr: MemAddr) -> usize {
+    addr.is_persistent() as usize
+}
+
+fn addr_in(space: usize, offset: u64) -> MemAddr {
+    if space == 1 {
+        MemAddr::persistent(offset)
+    } else {
+        MemAddr::volatile(offset)
+    }
+}
+
+/// Writes an access offset as a zigzag delta against the thread's
+/// last offset in the same space (wrapping, hence total: any u64 delta
+/// round-trips).
+fn wdelta_off(w: &mut impl Write, st: &mut ThreadCodec, space: usize, offset: u64) -> io::Result<()> {
+    let delta = offset.wrapping_sub(st.last_off[space]);
+    st.last_off[space] = offset;
+    wvar(w, zigzag(delta as i64))
+}
+
+fn rdelta_off(r: &mut impl Read, st: &mut ThreadCodec, space: usize) -> io::Result<u64> {
+    let delta = unzigzag(rvar(r)?) as u64;
+    let offset = st.last_off[space].wrapping_add(delta);
+    if offset >= 1 << 63 {
+        return Err(bad("access offset exceeds the 63-bit address space"));
+    }
+    st.last_off[space] = offset;
+    Ok(offset)
+}
+
+/// Writes `trace` to `w` in the MPTRACE1 format (fixed-width records).
 ///
 /// # Errors
 ///
@@ -70,40 +182,40 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
         w32(&mut w, e.po)?;
         match e.op {
             Op::Load { addr, len, value } => {
-                w.write_all(&[T_LOAD, len])?;
+                w.write_all(&[tag::LOAD, len])?;
                 w64(&mut w, addr.to_bits())?;
                 w64(&mut w, value)?;
             }
             Op::Store { addr, len, value } => {
-                w.write_all(&[T_STORE, len])?;
+                w.write_all(&[tag::STORE, len])?;
                 w64(&mut w, addr.to_bits())?;
                 w64(&mut w, value)?;
             }
             Op::Rmw { addr, len, old, new } => {
-                w.write_all(&[T_RMW, len])?;
+                w.write_all(&[tag::RMW, len])?;
                 w64(&mut w, addr.to_bits())?;
                 w64(&mut w, old)?;
                 w64(&mut w, new)?;
             }
-            Op::PersistBarrier => w.write_all(&[T_PBARRIER])?,
-            Op::MemBarrier => w.write_all(&[T_MBARRIER])?,
-            Op::NewStrand => w.write_all(&[T_NEWSTRAND])?,
-            Op::PersistSync => w.write_all(&[T_PSYNC])?,
+            Op::PersistBarrier => w.write_all(&[tag::PBARRIER])?,
+            Op::MemBarrier => w.write_all(&[tag::MBARRIER])?,
+            Op::NewStrand => w.write_all(&[tag::NEWSTRAND])?,
+            Op::PersistSync => w.write_all(&[tag::PSYNC])?,
             Op::PAlloc { addr, size } => {
-                w.write_all(&[T_PALLOC])?;
+                w.write_all(&[tag::PALLOC])?;
                 w64(&mut w, addr.to_bits())?;
                 w64(&mut w, size)?;
             }
             Op::PFree { addr } => {
-                w.write_all(&[T_PFREE])?;
+                w.write_all(&[tag::PFREE])?;
                 w64(&mut w, addr.to_bits())?;
             }
             Op::WorkBegin { id } => {
-                w.write_all(&[T_WBEGIN])?;
+                w.write_all(&[tag::WBEGIN])?;
                 w64(&mut w, id)?;
             }
             Op::WorkEnd { id } => {
-                w.write_all(&[T_WEND])?;
+                w.write_all(&[tag::WEND])?;
                 w64(&mut w, id)?;
             }
         }
@@ -111,28 +223,151 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace from `r` (MPTRACE1 format).
+/// Writes `trace` to `w` in the compact MPTRACE2 format.
+///
+/// Wrap `w` in a `BufWriter`; the codec issues many small writes.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic, tag, or access length, and
-/// propagates I/O errors.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(bad("not an MPTRACE1 trace"));
+/// Propagates I/O errors from the writer, and `InvalidInput` if a thread
+/// id exceeds the format's 2²⁰ cap.
+pub fn write_trace2<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(&MAGIC2)?;
+    wvar(&mut w, trace.thread_count() as u64)?;
+    wvar(&mut w, trace.events().len() as u64)?;
+    let mut st: Vec<ThreadCodec> = Vec::with_capacity(trace.thread_count() as usize);
+    for e in trace.events() {
+        if e.thread.as_u64() >= MAX_THREADS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "MPTRACE2 supports at most 2^20 threads",
+            ));
+        }
+        // Tag byte: op tag in the low nibble; the high nibble carries
+        // `(len - 1) | (space << 3)` for data accesses, `space << 3` for
+        // PAlloc/PFree, 0 otherwise.
+        let hi = match e.op {
+            Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
+                debug_assert!((1..=8).contains(&len));
+                (len - 1) | ((space_of(addr) as u8) << 3)
+            }
+            Op::PAlloc { addr, .. } | Op::PFree { addr } => (space_of(addr) as u8) << 3,
+            _ => 0,
+        };
+        let t = match e.op {
+            Op::Load { .. } => tag::LOAD,
+            Op::Store { .. } => tag::STORE,
+            Op::Rmw { .. } => tag::RMW,
+            Op::PersistBarrier => tag::PBARRIER,
+            Op::MemBarrier => tag::MBARRIER,
+            Op::NewStrand => tag::NEWSTRAND,
+            Op::PersistSync => tag::PSYNC,
+            Op::PAlloc { .. } => tag::PALLOC,
+            Op::PFree { .. } => tag::PFREE,
+            Op::WorkBegin { .. } => tag::WBEGIN,
+            Op::WorkEnd { .. } => tag::WEND,
+        };
+        w.write_all(&[t | (hi << 4)])?;
+        wvar(&mut w, e.thread.as_u64())?;
+        let ts = codec_state(&mut st, e.thread.index());
+        wvar(&mut w, zigzag(e.po as i64 - (ts.prev_po + 1)))?;
+        ts.prev_po = e.po as i64;
+        match e.op {
+            Op::Load { addr, value, .. } | Op::Store { addr, value, .. } => {
+                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
+                wvar(&mut w, value)?;
+            }
+            Op::Rmw { addr, old, new, .. } => {
+                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
+                wvar(&mut w, old)?;
+                wvar(&mut w, new)?;
+            }
+            Op::PAlloc { addr, size } => {
+                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
+                wvar(&mut w, size)?;
+            }
+            Op::PFree { addr } => {
+                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
+            }
+            Op::WorkBegin { id } | Op::WorkEnd { id } => wvar(&mut w, id)?,
+            _ => {}
+        }
     }
-    let nthreads = r32(&mut r)?;
-    let count = r64(&mut r)?;
-    if count > (1 << 32) {
-        return Err(bad("unreasonable event count"));
+    Ok(())
+}
+
+/// Which serialized format a [`TraceReader`] is decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Fixed-width MPTRACE1.
+    V1,
+    /// Varint/delta MPTRACE2.
+    V2,
+}
+
+/// Streaming trace decoder: an [`EventSource`] over a serialized trace.
+///
+/// Auto-detects MPTRACE1 vs MPTRACE2 from the magic and decodes one event
+/// per [`EventSource::next_event`] call, so analyses can ingest traces of
+/// any size in constant memory. Wrap files in a `BufReader`.
+pub struct TraceReader<R> {
+    r: R,
+    format: TraceFormat,
+    nthreads: u32,
+    remaining: u64,
+    /// v2 per-thread predictor state (unused for v1).
+    st: Vec<ThreadCodec>,
+}
+
+impl<R> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("format", &self.format)
+            .field("nthreads", &self.nthreads)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
     }
-    let mut events = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        let thread = ThreadId(r32(&mut r)?);
-        let po = r32(&mut r)?;
-        let tag = r8(&mut r)?;
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header, leaving the reader positioned at
+    /// the first event.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for an unknown magic or unreasonable header
+    /// fields, and propagates I/O errors.
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        let format = match magic {
+            MAGIC => TraceFormat::V1,
+            MAGIC2 => TraceFormat::V2,
+            _ => return Err(bad("not an MPTRACE1/MPTRACE2 trace")),
+        };
+        let (nthreads, remaining) = match format {
+            TraceFormat::V1 => (r32(&mut r)? as u64, r64(&mut r)?),
+            TraceFormat::V2 => (rvar(&mut r)?, rvar(&mut r)?),
+        };
+        if nthreads > MAX_THREADS {
+            return Err(bad("unreasonable thread count"));
+        }
+        if remaining > (1 << 32) {
+            return Err(bad("unreasonable event count"));
+        }
+        Ok(TraceReader { r, format, nthreads: nthreads as u32, remaining, st: Vec::new() })
+    }
+
+    /// The detected on-disk format.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    fn next_v1(&mut self) -> io::Result<Event> {
+        let r = &mut self.r;
+        let thread = ThreadId(r32(r)?);
+        let po = r32(r)?;
+        let t = r8(r)?;
         let read_len = |r: &mut R| -> io::Result<u8> {
             let len = r8(r)?;
             if (1..=8).contains(&len) {
@@ -141,37 +376,112 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
                 Err(bad("access length out of range"))
             }
         };
-        let op = match tag {
-            T_LOAD => {
-                let len = read_len(&mut r)?;
-                Op::Load { addr: MemAddr::from_bits(r64(&mut r)?), len, value: r64(&mut r)? }
+        let op = match t {
+            tag::LOAD => {
+                let len = read_len(r)?;
+                Op::Load { addr: MemAddr::from_bits(r64(r)?), len, value: r64(r)? }
             }
-            T_STORE => {
-                let len = read_len(&mut r)?;
-                Op::Store { addr: MemAddr::from_bits(r64(&mut r)?), len, value: r64(&mut r)? }
+            tag::STORE => {
+                let len = read_len(r)?;
+                Op::Store { addr: MemAddr::from_bits(r64(r)?), len, value: r64(r)? }
             }
-            T_RMW => {
-                let len = read_len(&mut r)?;
-                Op::Rmw {
-                    addr: MemAddr::from_bits(r64(&mut r)?),
-                    len,
-                    old: r64(&mut r)?,
-                    new: r64(&mut r)?,
-                }
+            tag::RMW => {
+                let len = read_len(r)?;
+                Op::Rmw { addr: MemAddr::from_bits(r64(r)?), len, old: r64(r)?, new: r64(r)? }
             }
-            T_PBARRIER => Op::PersistBarrier,
-            T_MBARRIER => Op::MemBarrier,
-            T_NEWSTRAND => Op::NewStrand,
-            T_PSYNC => Op::PersistSync,
-            T_PALLOC => Op::PAlloc { addr: MemAddr::from_bits(r64(&mut r)?), size: r64(&mut r)? },
-            T_PFREE => Op::PFree { addr: MemAddr::from_bits(r64(&mut r)?) },
-            T_WBEGIN => Op::WorkBegin { id: r64(&mut r)? },
-            T_WEND => Op::WorkEnd { id: r64(&mut r)? },
+            tag::PBARRIER => Op::PersistBarrier,
+            tag::MBARRIER => Op::MemBarrier,
+            tag::NEWSTRAND => Op::NewStrand,
+            tag::PSYNC => Op::PersistSync,
+            tag::PALLOC => Op::PAlloc { addr: MemAddr::from_bits(r64(r)?), size: r64(r)? },
+            tag::PFREE => Op::PFree { addr: MemAddr::from_bits(r64(r)?) },
+            tag::WBEGIN => Op::WorkBegin { id: r64(r)? },
+            tag::WEND => Op::WorkEnd { id: r64(r)? },
             _ => return Err(bad("unknown operation tag")),
         };
-        events.push(Event { thread, po, op });
+        Ok(Event { thread, po, op })
     }
-    Ok(Trace::from_events(nthreads, events))
+
+    fn next_v2(&mut self) -> io::Result<Event> {
+        let tag_byte = r8(&mut self.r)?;
+        let (t, hi) = (tag_byte & 0xF, tag_byte >> 4);
+        let thread = rvar(&mut self.r)?;
+        if thread >= MAX_THREADS {
+            return Err(bad("thread id out of range"));
+        }
+        let ts = codec_state(&mut self.st, thread as usize);
+        let po = ts.prev_po + 1 + unzigzag(rvar(&mut self.r)?);
+        if !(0..=u32::MAX as i64).contains(&po) {
+            return Err(bad("program-order index out of range"));
+        }
+        // Re-borrow around each read of `self.r` by splitting state:
+        let (space, len) = ((hi >> 3) as usize, (hi & 0x7) + 1);
+        let take_addr = |r: &mut R, st: &mut Vec<ThreadCodec>| -> io::Result<MemAddr> {
+            let off = rdelta_off(r, codec_state(st, thread as usize), space)?;
+            Ok(addr_in(space, off))
+        };
+        let op = match t {
+            tag::LOAD => {
+                let addr = take_addr(&mut self.r, &mut self.st)?;
+                Op::Load { addr, len, value: rvar(&mut self.r)? }
+            }
+            tag::STORE => {
+                let addr = take_addr(&mut self.r, &mut self.st)?;
+                Op::Store { addr, len, value: rvar(&mut self.r)? }
+            }
+            tag::RMW => {
+                let addr = take_addr(&mut self.r, &mut self.st)?;
+                Op::Rmw { addr, len, old: rvar(&mut self.r)?, new: rvar(&mut self.r)? }
+            }
+            tag::PBARRIER if hi == 0 => Op::PersistBarrier,
+            tag::MBARRIER if hi == 0 => Op::MemBarrier,
+            tag::NEWSTRAND if hi == 0 => Op::NewStrand,
+            tag::PSYNC if hi == 0 => Op::PersistSync,
+            tag::PALLOC if hi & 0x7 == 0 => {
+                let addr = take_addr(&mut self.r, &mut self.st)?;
+                Op::PAlloc { addr, size: rvar(&mut self.r)? }
+            }
+            tag::PFREE if hi & 0x7 == 0 => Op::PFree { addr: take_addr(&mut self.r, &mut self.st)? },
+            tag::WBEGIN if hi == 0 => Op::WorkBegin { id: rvar(&mut self.r)? },
+            tag::WEND if hi == 0 => Op::WorkEnd { id: rvar(&mut self.r)? },
+            _ => return Err(bad("unknown operation tag")),
+        };
+        let ts = codec_state(&mut self.st, thread as usize);
+        ts.prev_po = po;
+        Ok(Event { thread: ThreadId(thread as u32), po: po as u32, op })
+    }
+}
+
+impl<R: Read> EventSource for TraceReader<R> {
+    fn thread_count(&self) -> u32 {
+        self.nthreads
+    }
+
+    fn next_event(&mut self) -> io::Result<Option<Event>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let e = match self.format {
+            TraceFormat::V1 => self.next_v1()?,
+            TraceFormat::V2 => self.next_v2()?,
+        };
+        self.remaining -= 1;
+        Ok(Some(e))
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Reads a trace from `r`, auto-detecting MPTRACE1 or MPTRACE2.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, tag, or field, and propagates
+/// I/O errors. Never panics on corrupt input.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    collect_trace(TraceReader::new(r)?)
 }
 
 #[cfg(test)]
@@ -197,13 +507,58 @@ mod tests {
         })
     }
 
+    /// A hand-built trace covering every op tag, both spaces, extreme
+    /// values, and non-dense program order.
+    fn all_tags_trace() -> Trace {
+        let mut events = Vec::new();
+        for (i, op) in crate::event::tests::all_op_variants().into_iter().enumerate() {
+            events.push(Event { thread: ThreadId((i % 3) as u32), po: (i * 7) as u32, op });
+        }
+        // Extreme offsets/values to exercise long varints and deltas.
+        events.push(Event {
+            thread: ThreadId(0),
+            po: 1000,
+            op: Op::Store { addr: MemAddr::persistent((1 << 63) - 8), len: 8, value: u64::MAX },
+        });
+        events.push(Event {
+            thread: ThreadId(0),
+            po: 1001,
+            op: Op::Load { addr: MemAddr::volatile(0), len: 1, value: 0 },
+        });
+        Trace::from_events(3, events)
+    }
+
     #[test]
-    fn roundtrip_preserves_everything() {
+    fn v1_roundtrip_preserves_everything() {
         let t = sample_trace();
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_everything() {
+        for t in [sample_trace(), all_tags_trace(), Trace::from_events(1, vec![])] {
+            let mut buf = Vec::new();
+            write_trace2(&t, &mut buf).unwrap();
+            let back = read_trace(buf.as_slice()).unwrap();
+            assert_eq!(t, back);
+        }
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_on_captures() {
+        let t = sample_trace();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_trace(&t, &mut v1).unwrap();
+        write_trace2(&t, &mut v2).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "MPTRACE2 ({}) should be smaller than MPTRACE1 ({})",
+            v2.len(),
+            v1.len()
+        );
     }
 
     #[test]
@@ -214,9 +569,31 @@ mod tests {
         b.store(1, a, 3);
         b.set_visibility(vec![(0, 2), (1, 0), (0, 0), (0, 1)]);
         let t = b.build();
+        for v2 in [false, true] {
+            let mut buf = Vec::new();
+            if v2 {
+                write_trace2(&t, &mut buf).unwrap();
+            } else {
+                write_trace(&t, &mut buf).unwrap();
+            }
+            assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_materialized_read() {
+        let t = sample_trace();
         let mut buf = Vec::new();
-        write_trace(&t, &mut buf).unwrap();
-        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+        write_trace2(&t, &mut buf).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.format(), TraceFormat::V2);
+        assert_eq!(reader.thread_count(), 2);
+        assert_eq!(reader.size_hint(), Some(t.events().len() as u64));
+        let mut streamed = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            streamed.push(e);
+        }
+        assert_eq!(streamed.as_slice(), t.events());
     }
 
     #[test]
@@ -226,12 +603,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncation() {
+    fn rejects_truncation_in_both_formats() {
         let t = sample_trace();
-        let mut buf = Vec::new();
-        write_trace(&t, &mut buf).unwrap();
-        for cut in [buf.len() / 3, buf.len() - 1] {
-            assert!(read_trace(&buf[..cut]).is_err(), "truncated at {cut}");
+        for v2 in [false, true] {
+            let mut buf = Vec::new();
+            if v2 {
+                write_trace2(&t, &mut buf).unwrap();
+            } else {
+                write_trace(&t, &mut buf).unwrap();
+            }
+            for cut in [4, buf.len() / 3, buf.len() - 1] {
+                assert!(read_trace(&buf[..cut]).is_err(), "truncated at {cut} (v2={v2})");
+            }
         }
     }
 
@@ -248,6 +631,45 @@ mod tests {
     }
 
     #[test]
+    fn v2_corruption_errors_never_panic() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace2(&t, &mut buf).unwrap();
+        // Flip every byte in turn; decoding must either succeed (the byte
+        // was value payload) or fail cleanly — never panic.
+        for i in 0..buf.len() {
+            let mut c = buf.clone();
+            c[i] ^= 0xFF;
+            let _ = read_trace(c.as_slice());
+        }
+        // Unreasonable header counts are rejected outright.
+        let mut huge = MAGIC2.to_vec();
+        wvar(&mut huge, u64::MAX).unwrap(); // nthreads
+        wvar(&mut huge, 1).unwrap();
+        assert!(read_trace(huge.as_slice()).is_err());
+        let mut huge = MAGIC2.to_vec();
+        wvar(&mut huge, 1).unwrap();
+        wvar(&mut huge, u64::MAX).unwrap(); // count
+        assert!(read_trace(huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_and_overlong_rejection() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX, 1 << 63] {
+            let mut buf = Vec::new();
+            wvar(&mut buf, v).unwrap();
+            assert_eq!(rvar(&mut buf.as_slice()).unwrap(), v);
+        }
+        // 11 continuation bytes: too long.
+        let overlong = [0x80u8; 11];
+        assert!(rvar(&mut overlong.as_slice()).is_err());
+        // 10th byte with high bits set: overflows 64 bits.
+        let mut over = [0x80u8; 10];
+        over[9] = 0x7F;
+        assert!(rvar(&mut over.as_slice()).is_err());
+    }
+
+    #[test]
     fn format_is_stable_for_empty_trace() {
         let t = Trace::from_events(1, vec![]);
         let mut buf = Vec::new();
@@ -257,5 +679,9 @@ mod tests {
         let back = read_trace(buf.as_slice()).unwrap();
         assert_eq!(back.events().len(), 0);
         assert_eq!(back.thread_count(), 1);
+        let mut buf2 = Vec::new();
+        write_trace2(&t, &mut buf2).unwrap();
+        assert_eq!(buf2.len(), 8 + 1 + 1);
+        assert_eq!(&buf2[..8], b"MPTRACE2");
     }
 }

@@ -24,8 +24,11 @@
 //!   orders used to reproduce the paper's Figure 1 cycle argument,
 //! - [`stats`] — insert-distance distributions (§7 "Performance
 //!   Validation"),
-//! - [`io`] — compact binary trace serialization (capture once, analyze
-//!   many).
+//! - [`io`] — binary trace serialization (fixed-width MPTRACE1 and the
+//!   compact varint/delta MPTRACE2; capture once, analyze many),
+//! - [`EventSource`] — streaming ingestion: one-pass analyses pull events
+//!   from an in-memory [`Trace`] or straight off a serialized file via
+//!   [`io::TraceReader`] without materializing the event vector.
 //!
 //! # Example
 //!
@@ -54,11 +57,13 @@ mod mem;
 pub mod profile;
 pub mod rng;
 mod sched;
+mod source;
 pub mod stats;
 mod trace;
 
 pub use builder::TraceBuilder;
-pub use event::{Event, Op, ThreadId};
-pub use mem::{ThreadCtx, TracedMem};
+pub use event::{Event, Op, PackedEvent, ThreadId};
+pub use mem::{CaptureStats, ThreadCtx, TracedMem};
 pub use sched::{FreeRunScheduler, Scheduler, SeededScheduler};
+pub use source::{collect_trace, EventSource, TraceSource};
 pub use trace::{ScViolation, Trace};

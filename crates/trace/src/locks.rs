@@ -21,6 +21,15 @@ pub struct SpinLock {
 }
 
 impl SpinLock {
+    /// Maximum *failed* CAS attempts one [`SpinLock::acquire`] records in
+    /// the trace. After this many recorded failures the spin switches to
+    /// unrecorded polling ([`ThreadCtx::peek_u64`] + quiet CAS), so a
+    /// contended acquisition contributes at most `MAX_RECORDED_RETRIES`
+    /// failed `Rmw` events plus one successful `Rmw` — bounding the trace
+    /// blowup that an unbounded test-and-set loop produces under
+    /// contention, while still witnessing the contention itself.
+    pub const MAX_RECORDED_RETRIES: usize = 2;
+
     /// Creates a spinlock whose state lives at `word` (must read as 0
     /// initially, i.e. untouched memory or explicitly zeroed).
     ///
@@ -34,13 +43,24 @@ impl SpinLock {
     }
 
     /// Spins until the lock is acquired.
+    ///
+    /// Records at most [`SpinLock::MAX_RECORDED_RETRIES`] failed attempts;
+    /// further polling is trace-silent (it still takes scheduler turns and
+    /// shard locks, so deterministic schedules stay live and the
+    /// successful CAS keeps its analysis-atomic stamp).
     pub fn acquire<S: Scheduler>(&self, ctx: &ThreadCtx<'_, S>) {
+        let mut recorded_failures = 0usize;
         loop {
-            if ctx.cas_u64(self.word, 0, 1) == 0 {
+            if recorded_failures < Self::MAX_RECORDED_RETRIES {
+                if ctx.cas_u64(self.word, 0, 1) == 0 {
+                    return;
+                }
+                recorded_failures += 1;
+            } else if ctx.peek_u64(self.word) == 0 && ctx.cas_u64_quiet(self.word, 0, 1) == 0 {
                 return;
             }
             // On few-core hosts let the holder run; interleaving is still
-            // captured per access.
+            // captured per recorded access.
             std::thread::yield_now();
         }
     }
@@ -230,6 +250,52 @@ mod tests {
     #[test]
     fn mcs_lock_mutual_exclusion_seeded() {
         assert_eq!(hammer(SeededScheduler::new(7), 4, 50, "mcs"), 200);
+    }
+
+    #[test]
+    fn spinlock_contended_trace_stays_under_event_budget() {
+        // A contended 4-thread seeded run: every acquisition may record at
+        // most MAX_RECORDED_RETRIES failed CAS attempts plus the one
+        // successful CAS, so the lock word's Rmw count is bounded by
+        // acquisitions * (MAX_RECORDED_RETRIES + 1) — the documented event
+        // budget — no matter how long threads actually spin.
+        let (threads, iters) = (4u32, 50u64);
+        let lock_word = MemAddr::volatile(64);
+        let spin = SpinLock::new(lock_word);
+        let counter = MemAddr::volatile(0);
+        let mem = TracedMem::new(SeededScheduler::new(11));
+        let trace = mem.run(threads, |ctx| {
+            for _ in 0..iters {
+                spin.acquire(ctx);
+                let v = ctx.load_u64(counter);
+                ctx.store_u64(counter, v + 1);
+                spin.release(ctx);
+            }
+        });
+        trace.validate_sc().unwrap();
+        assert_eq!(
+            trace.final_image().read_u64(counter).unwrap(),
+            threads as u64 * iters,
+            "mutual exclusion violated"
+        );
+        let acquisitions = threads as u64 * iters;
+        let budget = acquisitions * (SpinLock::MAX_RECORDED_RETRIES as u64 + 1);
+        let lock_rmws = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.op, crate::Op::Rmw { addr, .. } if addr == lock_word))
+            .count() as u64;
+        assert!(
+            lock_rmws <= budget,
+            "contended spinlock recorded {lock_rmws} lock-word RMWs, budget {budget}"
+        );
+        // Exactly one successful acquisition CAS per critical section.
+        let successes = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.op, crate::Op::Rmw { addr, old: 0, new: 1, .. } if addr == lock_word))
+            .count() as u64;
+        assert_eq!(successes, acquisitions);
     }
 
     #[test]

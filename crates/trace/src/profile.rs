@@ -4,7 +4,8 @@
 //! density, per-thread balance, and epoch structure (persists per persist
 //! epoch, the quantity epoch persistency's concurrency comes from).
 
-use crate::{Op, Trace};
+use crate::{EventSource, Op, Trace};
+use std::io;
 
 /// Aggregate statistics of one trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -37,11 +38,30 @@ pub struct TraceProfile {
 impl TraceProfile {
     /// Profiles a trace.
     pub fn of(trace: &Trace) -> Self {
+        Self::of_source(trace.source()).expect("in-memory trace sources cannot fail")
+    }
+
+    /// Profiles a streaming event source (one forward pass, constant
+    /// memory) — e.g. an [`io::TraceReader`](crate::io::TraceReader) over
+    /// a serialized trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's decode/I/O errors, and returns
+    /// `InvalidData` if an event names a thread outside
+    /// `source.thread_count()`.
+    pub fn of_source<E: EventSource>(mut source: E) -> io::Result<Self> {
         let mut p = TraceProfile::default();
-        let mut open_epoch = vec![0u64; trace.thread_count() as usize];
-        for e in trace.events() {
+        let mut open_epoch = vec![0u64; source.thread_count() as usize];
+        while let Some(e) = source.next_event()? {
             p.events += 1;
             let t = e.thread.index();
+            if t >= open_epoch.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "event names a thread outside the trace's thread count",
+                ));
+            }
             match e.op {
                 Op::Load { .. } => p.loads += 1,
                 Op::Store { .. } => p.stores += 1,
@@ -76,7 +96,7 @@ impl TraceProfile {
                 p.epoch_sizes.push(open);
             }
         }
-        p
+        Ok(p)
     }
 
     /// Fraction of data accesses that are persists.

@@ -19,6 +19,12 @@ import sys
 # Throughput series to gate (higher is better). Wall-clock fields are
 # skipped: they scale with the workload sizes the run was invoked with.
 SERIES = [
+    "capture.events_per_sec.t1",
+    "capture.events_per_sec.t4",
+    "capture.serialize.v1.write_mb_per_sec",
+    "capture.serialize.v1.read_mb_per_sec",
+    "capture.serialize.v2.write_mb_per_sec",
+    "capture.serialize.v2.read_mb_per_sec",
     "scalar_engine.events_per_sec_oneshot",
     "scalar_engine.events_per_sec_reused",
     "dag_engine.events_per_sec",
