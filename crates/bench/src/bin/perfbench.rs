@@ -22,6 +22,7 @@
 
 use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
 use bench::SweepRunner;
+use obsv::runmeta::RunMeta;
 use mem_trace::{io as trace_io, FreeRunScheduler, ThreadCtx, TracedMem};
 use persist_mem::MemAddr;
 use persistency::dag::PersistDag;
@@ -287,7 +288,13 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"schema\": \"bench_engine_v2\",").unwrap();
+    writeln!(json, "  \"schema\": \"bench_engine_v3\",").unwrap();
+    writeln!(
+        json,
+        "  \"meta\": {},",
+        RunMeta::collect(runner.workers(), sweep_workers_effective).to_json_object()
+    )
+    .unwrap();
     writeln!(json, "  \"workers_configured\": {},", runner.workers()).unwrap();
     writeln!(json, "  \"capture\": {{").unwrap();
     writeln!(json, "    \"inserts\": {capture_inserts},").unwrap();

@@ -25,7 +25,9 @@
 //! exit nonzero when a consistency check fails.
 
 use bench::fmt::num;
-use bench::sweep::SweepRunner;
+use bench::profile as profcli;
+use bench::sweep::{SelfTimer, SweepRunner};
+use obsv::runmeta::RunMeta;
 use mem_trace::{io as trace_io, SeededScheduler, Trace, TracedMem};
 use persist_mem::{AtomicPersistSize, MemAddr, TrackingGranularity};
 use persistency::crash::{check, Exploration};
@@ -119,7 +121,7 @@ fn config_from(args: &Args, model: Model) -> Result<AnalysisConfig, String> {
     Ok(cfg)
 }
 
-fn cmd_capture(args: &Args) -> Result<(), String> {
+fn cmd_capture(args: &Args) -> Result<u64, String> {
     let queue = args.get("--queue").unwrap_or("cwl");
     let threads = args.num("--threads", 1)? as u32;
     let inserts = args.num("--inserts", 100)?;
@@ -166,7 +168,7 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
                 trace.persist_count(),
                 trace.work_count()
             );
-            return Ok(());
+            return Ok(trace.events().len() as u64);
         }
         other => return Err(format!("unknown --queue {other}; use cwl, 2lc or bounded")),
     };
@@ -189,7 +191,7 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
         trace.persist_count(),
         trace.work_count()
     );
-    Ok(())
+    Ok(trace.events().len() as u64)
 }
 
 fn load_layout(path: &str) -> Result<QueueLayout, String> {
@@ -214,7 +216,7 @@ fn load_layout(path: &str) -> Result<QueueLayout, String> {
     })
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+fn cmd_analyze(args: &Args) -> Result<u64, String> {
     // Fully streaming: the profile and each model's analysis are separate
     // forward passes over the file, never materializing the event vector.
     let path = args.required("--trace")?;
@@ -229,6 +231,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     };
     if args.has("--json") {
         let mut rows = Vec::new();
+        let passes = models.len() as u64;
         for model in models {
             let cfg = config_from(args, model)?;
             let r = analyze_streaming(&cfg)?;
@@ -243,14 +246,15 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             ));
         }
         println!(
-            "{{\n  \"schema\": \"psim_analyze_v1\",\n  \"trace\": {{\"events\": {}, \"persists\": {}, \"persist_barriers\": {}, \"work_items\": {}}},\n  \"models\": [\n{}\n  ]\n}}",
+            "{{\n  \"schema\": \"psim_analyze_v1\",\n  \"meta\": {},\n  \"trace\": {{\"events\": {}, \"persists\": {}, \"persist_barriers\": {}, \"work_items\": {}}},\n  \"models\": [\n{}\n  ]\n}}",
+            RunMeta::collect(1, 1).to_json_object(),
             profile.events,
             profile.persists,
             profile.persist_barriers,
             profile.work_items,
             rows.join(",\n")
         );
-        return Ok(());
+        return Ok(profile.events * (passes + 1));
     }
     println!(
         "trace: {} events, {} persists ({}% of accesses), {} barriers, \
@@ -267,6 +271,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "model", "critical", "cp/insert", "persists", "coalesced", "barriers"
     );
+    let passes = models.len() as u64;
     for model in models {
         let cfg = config_from(args, model)?;
         let r = analyze_streaming(&cfg)?;
@@ -280,10 +285,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             r.stats.barriers
         );
     }
-    Ok(())
+    Ok(profile.events * (passes + 1))
 }
 
-fn cmd_cuts(args: &Args) -> Result<(), String> {
+fn cmd_cuts(args: &Args) -> Result<u64, String> {
     let trace = load_trace(args.required("--trace")?)?;
     let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
     let samples = args.num("--samples", 100)? as usize;
@@ -293,20 +298,22 @@ fn cmd_cuts(args: &Args) -> Result<(), String> {
     let cuts = obs.sample_cuts(args.num("--seed", 1)?, samples);
     let sizes: Vec<usize> = cuts.iter().map(|c| c.len()).collect();
     let max = sizes.iter().copied().max().unwrap_or(0);
+    let events = trace.events().len() as u64;
     if args.has("--json") {
         println!(
-            "{{\n  \"schema\": \"psim_cuts_v1\",\n  \"model\": \"{model}\",\n  \"persists\": {},\n  \"states_sampled\": {},\n  \"max_cut\": {max}\n}}",
+            "{{\n  \"schema\": \"psim_cuts_v1\",\n  \"meta\": {},\n  \"model\": \"{model}\",\n  \"persists\": {},\n  \"states_sampled\": {},\n  \"max_cut\": {max}\n}}",
+            RunMeta::collect(1, 1).to_json_object(),
             dag.len(),
             cuts.len()
         );
-        return Ok(());
+        return Ok(events);
     }
     println!("model {model}: {} persists, {} distinct recovery states sampled", dag.len(), cuts.len());
     println!("cut sizes: min 0, max {max} (full = {})", dag.len());
-    Ok(())
+    Ok(events)
 }
 
-fn cmd_crash(args: &Args) -> Result<(), String> {
+fn cmd_crash(args: &Args) -> Result<u64, String> {
     let path = args.required("--trace")?;
     let trace = load_trace(path)?;
     let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
@@ -346,7 +353,8 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(", ");
         println!(
-            "{{\n  \"schema\": \"psim_crash_v1\",\n  \"model\": \"{model}\",\n  \"consistent\": {},\n  \"violations\": [{violations}]\n}}",
+            "{{\n  \"schema\": \"psim_crash_v1\",\n  \"meta\": {},\n  \"model\": \"{model}\",\n  \"consistent\": {},\n  \"violations\": [{violations}]\n}}",
+            RunMeta::collect(1, 1).to_json_object(),
             report.is_consistent()
         );
     } else {
@@ -360,10 +368,10 @@ fn cmd_crash(args: &Args) -> Result<(), String> {
     if !report.is_consistent() {
         return Err("recovery invariant violated".into());
     }
-    Ok(())
+    Ok(trace.events().len() as u64)
 }
 
-fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
+fn cmd_crash_fuzz(args: &Args) -> Result<u64, String> {
     let structures: Vec<Structure> = match args.get("--structure") {
         None | Some("all") => Structure::ALL.to_vec(),
         Some("stock") => Structure::STOCK.to_vec(),
@@ -409,7 +417,8 @@ fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
     }
     let reports: Vec<_> =
         plans.iter().zip(&grouped).map(|(plan, shards)| plan.merge(shards)).collect();
-    let json = pfi::report::render(&cfg, &reports);
+    let meta = RunMeta::collect(runner.workers(), runner.effective_workers(items.len()));
+    let json = pfi::report::render_with_meta(&cfg, &reports, Some(&meta.to_json_object()));
     if let Some(path) = args.get("--out") {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     }
@@ -453,11 +462,39 @@ fn cmd_crash_fuzz(args: &Args) -> Result<(), String> {
     if failing > 0 {
         return Err(format!("crash-fuzz found failures in {failing} cell(s)"));
     }
-    Ok(())
+    Ok(reports.iter().map(|r| r.events as u64).sum())
+}
+
+fn cmd_profile(args: &Args) -> Result<u64, String> {
+    let trace = load_trace(args.required("--trace")?)?;
+    let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
+    let cfg = config_from(args, model)?;
+    let top = args.num("--top", 10)? as usize;
+    let max_barriers = args.num("--barriers", 64)? as usize;
+
+    let runner = SweepRunner::from_env();
+    let report = profcli::run_profile(&trace, &cfg, max_barriers, &runner)
+        .map_err(|e| e.to_string())?;
+    // Events pushed through the engines: one DAG build plus one timing
+    // re-analysis per scored barrier.
+    let events = trace.events().len() as u64 * (1 + report.barriers.len() as u64);
+
+    if args.has("--json") {
+        let meta =
+            RunMeta::collect(runner.workers(), runner.effective_workers(report.barriers.len()));
+        let json = profcli::render_json(&report, &meta, top);
+        if let Some(path) = args.get("--out") {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        print!("{json}");
+    } else {
+        print!("{}", profcli::render_table(&report, top));
+    }
+    Ok(events)
 }
 
 fn usage() -> String {
-    "usage: psim <capture|analyze|cuts|crash|crash-fuzz> [flags]\n\
+    "usage: psim <capture|analyze|cuts|crash|crash-fuzz|profile> [flags]\n\
      capture:    --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
                  [--seed N] [--capacity N] --out FILE [--format 1|2]  (2 = compact MPTRACE2)\n\
      analyze:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--json]\n\
@@ -466,6 +503,8 @@ fn usage() -> String {
      crash-fuzz: [--structure all|stock|cwl|cwl-elided|2lc|kv|txn] [--model all|NAME]\n\
                  [--ops N] [--injections N] [--seed N] [--no-multi-crash] [--torn]\n\
                  [--json] [--out FILE] [--serial]\n\
+     profile:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--top N]\n\
+                 [--barriers N] [--json] [--out FILE] [--serial]\n\
      analysis commands exit nonzero when a consistency check fails"
         .into()
 }
@@ -477,20 +516,28 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let args = Args(argv);
+    // Every subcommand self-times through the obsv layer; the `[timing]`
+    // stderr line is the rendered view (stdout stays untouched for the
+    // determinism tests).
+    let timer = SelfTimer::start(&format!("psim {cmd}"), &SweepRunner::from_env());
     let result = match cmd.as_str() {
         "capture" => cmd_capture(&args),
         "analyze" => cmd_analyze(&args),
         "cuts" => cmd_cuts(&args),
         "crash" => cmd_crash(&args),
         "crash-fuzz" => cmd_crash_fuzz(&args),
+        "profile" => cmd_profile(&args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(events) => {
+            timer.finish(events);
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("psim: {e}");
             ExitCode::FAILURE

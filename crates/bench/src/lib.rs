@@ -12,6 +12,7 @@
 pub mod deps;
 pub mod experiments;
 pub mod fmt;
+pub mod profile;
 pub mod sweep;
 pub mod workloads;
 

@@ -56,6 +56,12 @@ impl SweepRunner {
         self.workers
     }
 
+    /// Workers that can actually be used for `cells` work items (the pool
+    /// never spawns more threads than there are cells).
+    pub fn effective_workers(&self, cells: usize) -> usize {
+        self.workers.min(cells.max(1))
+    }
+
     /// Applies `f` to every item, returning results in input order.
     ///
     /// `f` receives the item's index and the item. With one worker (or one
@@ -67,6 +73,9 @@ impl SweepRunner {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        if obsv::enabled() {
+            obsv::counter_add("sweep.cells", items.len() as u64);
+        }
         if self.workers == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
@@ -95,10 +104,13 @@ impl Default for SweepRunner {
     }
 }
 
-/// Wall-clock self-timing for a sweep binary.
+/// Self-timing for a sweep binary, recorded through the `obsv` layer.
 ///
-/// Reports to **stderr** so experiment stdout stays byte-identical across
-/// worker counts (the determinism tests diff stdout).
+/// The span/counter data lands in the `obsv` registry (when enabled via
+/// `OBSV=1`); the classic `[timing] ...` stderr line is kept as the
+/// human-rendered view of that same measurement. Reports go to **stderr**
+/// so experiment stdout stays byte-identical across worker counts (the
+/// determinism tests diff stdout).
 #[derive(Debug)]
 pub struct SelfTimer {
     label: String,
@@ -107,8 +119,11 @@ pub struct SelfTimer {
 }
 
 impl SelfTimer {
-    /// Starts timing an experiment.
+    /// Starts timing an experiment. Also gives `obsv` its chance to
+    /// initialize from the environment, so every sweep binary honors
+    /// `OBSV=1` without further wiring.
     pub fn start(label: &str, runner: &SweepRunner) -> Self {
+        obsv::init_from_env();
         SelfTimer { label: label.to_string(), workers: runner.workers(), start: Instant::now() }
     }
 
@@ -117,11 +132,18 @@ impl SelfTimer {
         self.start.elapsed()
     }
 
-    /// Stops the timer and writes `[timing] label: N events in S (R
-    /// events/s, W workers)` to stderr. `events` is the number of trace
-    /// events the experiment pushed through the analysis engines.
+    /// Stops the timer: records the section's duration and event count in
+    /// the `obsv` registry, then writes the rendered view `[timing] label:
+    /// N events in S (R events/s, W workers)` to stderr. `events` is the
+    /// number of trace events the experiment pushed through the analysis
+    /// engines.
     pub fn finish(self, events: u64) {
-        let secs = self.start.elapsed().as_secs_f64();
+        let dur = self.start.elapsed();
+        if obsv::enabled() {
+            obsv::record_duration(&format!("sweep.{}", self.label), dur);
+            obsv::counter_add(&format!("sweep.{}.events", self.label), events);
+        }
+        let secs = dur.as_secs_f64();
         let rate = if secs > 0.0 { events as f64 / secs } else { f64::INFINITY };
         let _ = writeln!(
             std::io::stderr(),

@@ -92,6 +92,56 @@ fn analyze_respects_granularity_flags() {
 }
 
 #[test]
+fn profile_json_is_byte_identical_across_worker_counts() {
+    let trace = tmp("profile.trace");
+    assert!(psim()
+        .args(["capture", "--queue", "cwl", "--threads", "2", "--inserts", "30", "--out", &trace])
+        .status()
+        .expect("capture")
+        .success());
+
+    let run = |threads: &str| -> String {
+        let out = psim()
+            .args(["profile", "--trace", &trace, "--model", "epoch", "--barriers", "16", "--json"])
+            .env("SWEEP_THREADS", threads)
+            .output()
+            .expect("profile");
+        assert!(out.status.success(), "profile failed: {}", String::from_utf8_lossy(&out.stderr));
+        // Only the single-line meta object may vary (it records the
+        // effective worker count and timestamp).
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"meta\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "profile JSON diverged between 1 and 4 workers");
+    assert!(serial.contains("\"schema\": \"psim_profile_v1\""));
+    assert!(serial.contains("\"critical_path\""));
+    assert!(serial.contains("\"checks\""));
+}
+
+#[test]
+fn profile_table_reports_sources_and_barriers() {
+    let trace = tmp("profile_table.trace");
+    assert!(psim()
+        .args(["capture", "--queue", "2lc", "--threads", "2", "--inserts", "20", "--out", &trace])
+        .status()
+        .expect("capture")
+        .success());
+    let out = psim()
+        .args(["profile", "--trace", &trace, "--model", "epoch"])
+        .output()
+        .expect("profile");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("critical path"), "missing header:\n{text}");
+    assert!(text.contains("top constraint sources"), "missing sources:\n{text}");
+    assert!(text.contains("barriers:"), "missing barrier section:\n{text}");
+}
+
+#[test]
 fn errors_are_reported_cleanly() {
     // Unknown command.
     let out = psim().arg("frobnicate").output().expect("run");
@@ -126,7 +176,7 @@ fn help_prints_usage() {
     let out = psim().arg("--help").output().expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["capture", "analyze", "cuts", "crash"] {
+    for cmd in ["capture", "analyze", "cuts", "crash", "profile"] {
         assert!(text.contains(cmd));
     }
 }

@@ -498,6 +498,14 @@ impl PersistDag {
         if dom.overflow {
             return Err(DagError::TooManyPersists { count: dom.nodes.len() });
         }
+        if obsv::enabled() {
+            obsv::counter_add("dag.builds", 1);
+            obsv::counter_add("dag.nodes", dom.nodes.len() as u64);
+            obsv::observe(
+                "dag.critical_path",
+                dom.levels.iter().copied().max().unwrap_or(0) as u64,
+            );
+        }
         Ok(PersistDag {
             config: *config,
             nodes: dom.nodes,

@@ -317,6 +317,16 @@ pub(crate) fn run_with_source<D: Domain, E: EventSource>(
             Op::PAlloc { .. } | Op::PFree { .. } => {}
         }
     }
+    if obsv::enabled() {
+        // Aggregate-only: totals are a function of the trace and config,
+        // never of scheduling, so the merged snapshot stays deterministic.
+        obsv::counter_add("engine.runs", 1);
+        obsv::counter_add("engine.events", stats.events as u64);
+        obsv::counter_add("engine.persists", stats.persist_ops as u64);
+        obsv::counter_add("engine.coalesced", stats.coalesced as u64);
+        obsv::counter_add("engine.barriers", stats.barriers as u64);
+        obsv::observe("engine.events_per_run", stats.events as u64);
+    }
     Ok(stats)
 }
 

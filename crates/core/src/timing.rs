@@ -172,7 +172,12 @@ impl Analyzer {
         config: &AnalysisConfig,
     ) -> io::Result<TimingReport> {
         let mut dom = LevelDomain::default();
+        let _span = obsv::span("timing.analyze");
         let stats = engine::run_with_source(source, config, &mut dom, &mut self.scratch)?;
+        if obsv::enabled() {
+            obsv::counter_add("timing.analyses", 1);
+            obsv::observe("timing.critical_path", dom.max_level);
+        }
         Ok(TimingReport {
             config: *config,
             critical_path: dom.max_level,

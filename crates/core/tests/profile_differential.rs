@@ -1,0 +1,124 @@
+//! Differential tests: the attribution profiler must agree with the two
+//! analysis engines it sits on top of.
+//!
+//! On any trace and model, the profiled critical path equals the DAG
+//! engine's (the profiler walks that DAG), and therefore equals the
+//! timing engine's whenever coalescing is disabled (the engines walk
+//! identical node sets then; with timestamp coalescing the DAG bounds
+//! timing from above — see `divergence.rs`). The extracted path itself
+//! must be a real DAG path with levels 1..=cp, and removing an ordering
+//! barrier can only relax constraints, so each what-if critical path is
+//! bounded by the baseline.
+
+use mem_trace::rng::SmallRng;
+use mem_trace::{SeededScheduler, Trace, TracedMem};
+use persist_mem::MemAddr;
+use persistency::dag::PersistDag;
+use persistency::profile::{profile, EdgeKind};
+use persistency::{timing, AnalysisConfig, Model};
+
+/// Randomized multithread workload, same shape as the engine-divergence
+/// suite: per-thread op scripts fixed up front, seeded scheduler
+/// interleaving.
+fn random_trace(seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed * 13 + 5);
+    let threads = 2 + (seed % 3) as u32;
+    let scripts: Vec<Vec<(u8, u64)>> = (0..threads)
+        .map(|_| (0..40).map(|_| (rng.gen_index(6) as u8, rng.gen_index(8) as u64)).collect())
+        .collect();
+    let mem = TracedMem::new(SeededScheduler::new(seed));
+    mem.run(threads, |ctx| {
+        let tid = ctx.thread_id().as_u64();
+        let shared = MemAddr::persistent(0);
+        let own = MemAddr::persistent(4096 * (1 + tid));
+        for &(kind, slot) in &scripts[tid as usize] {
+            match kind {
+                0 => ctx.store_u64(own.add(8 * slot), slot),
+                1 => ctx.store_u64(shared.add(8 * (slot % 4)), slot),
+                2 => {
+                    ctx.load_u64(shared.add(8 * (slot % 4)));
+                }
+                3 => ctx.persist_barrier(),
+                4 => ctx.mem_barrier(),
+                _ => ctx.new_strand(),
+            }
+        }
+    })
+}
+
+#[test]
+fn profile_critical_path_matches_analyzers_on_randomized_traces() {
+    for seed in 0..10u64 {
+        let trace = random_trace(seed);
+        for model in Model::ALL {
+            // Without coalescing the three agree exactly.
+            let cfg = AnalysisConfig::new(model).without_coalescing();
+            let r = profile(&trace, &cfg, 0).unwrap();
+            let t = timing::analyze(&trace, &cfg);
+            let dag = PersistDag::build(&trace, &cfg).unwrap();
+            assert_eq!(r.critical_path, dag.critical_path(), "seed {seed} model {model}");
+            assert_eq!(r.critical_path, t.critical_path, "seed {seed} model {model}");
+
+            // With coalescing the profiler still equals the DAG engine,
+            // which bounds the timing engine from above.
+            let cfg = AnalysisConfig::new(model);
+            let r = profile(&trace, &cfg, 0).unwrap();
+            let t = timing::analyze(&trace, &cfg);
+            let dag = PersistDag::build(&trace, &cfg).unwrap();
+            assert_eq!(r.critical_path, dag.critical_path(), "seed {seed} model {model}");
+            assert!(r.critical_path >= t.critical_path, "seed {seed} model {model}");
+        }
+    }
+}
+
+#[test]
+fn extracted_path_is_a_real_dag_path() {
+    for seed in 0..6u64 {
+        let trace = random_trace(seed);
+        for model in [Model::Strict, Model::Epoch, Model::Strand] {
+            let cfg = AnalysisConfig::new(model);
+            let r = profile(&trace, &cfg, 0).unwrap();
+            let dag = PersistDag::build(&trace, &cfg).unwrap();
+            assert_eq!(r.path.len() as u64, r.critical_path, "seed {seed} model {model}");
+            for (i, s) in r.path.iter().enumerate() {
+                assert_eq!(s.level as usize, i + 1, "levels ascend 1..=cp");
+                assert_eq!(s.edge == EdgeKind::Root, i == 0, "root edge only at the start");
+                if i > 0 {
+                    let prev = r.path[i - 1].node;
+                    assert!(
+                        dag.nodes()[s.node as usize].deps.contains(&prev),
+                        "seed {seed} model {model}: step {i} not a DAG edge"
+                    );
+                }
+            }
+            // The sources ranking partitions the path.
+            let total: u64 = r.sources.iter().map(|b| b.steps).sum();
+            assert_eq!(total, r.critical_path, "seed {seed} model {model}");
+        }
+    }
+}
+
+#[test]
+fn barrier_removal_never_lengthens_the_critical_path() {
+    // Monotonicity (removing an ordering barrier can only relax
+    // constraints) is an exact theorem only without coalescing; greedy
+    // coalescing can flip decisions either way (see model.rs).
+    for seed in 0..4u64 {
+        let trace = random_trace(seed);
+        for model in [Model::StrictRmo, Model::Epoch, Model::Bpfs] {
+            let cfg = AnalysisConfig::new(model).without_coalescing();
+            let r = profile(&trace, &cfg, 32).unwrap();
+            assert_eq!(r.timing_critical_path, timing::analyze(&trace, &cfg).critical_path);
+            for b in &r.barriers {
+                assert!(
+                    b.critical_path_without <= r.timing_critical_path,
+                    "seed {seed} model {model}: removing barrier at {} lengthened cp {} -> {}",
+                    b.trace_index,
+                    r.timing_critical_path,
+                    b.critical_path_without
+                );
+                assert_eq!(b.redundant, b.critical_path_without == r.timing_critical_path);
+            }
+        }
+    }
+}

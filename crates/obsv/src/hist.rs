@@ -1,0 +1,152 @@
+//! Fixed log2-bucket histogram.
+//!
+//! Values land in 65 fixed buckets: bucket 0 holds zeros, bucket `i`
+//! (1..=64) holds values in `[2^(i-1), 2^i)`. The bucket layout never
+//! depends on the data, so merging two histograms is elementwise addition
+//! — commutative and associative — which is what makes the merged
+//! snapshot independent of worker count and merge order.
+
+/// Number of buckets: one for zero plus one per power of two up to 2^63.
+pub const BUCKETS: usize = 65;
+
+/// Log2-bucket index of `v` (0 for 0, else `floor(log2(v)) + 1`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A histogram with fixed log2 buckets plus exact count/sum/min/max.
+///
+/// All fields are derived from the multiset of observed values, so any
+/// partition of the observations across threads merges back to the same
+/// histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of observed values (wrapping; practical series never wrap).
+    pub sum: u64,
+    /// Smallest observed value (u64::MAX when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram in (elementwise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Renders the histogram as a JSON object. Only non-empty buckets are
+    /// emitted, as `[bucket_lo, count]` pairs in ascending bucket order.
+    pub fn to_json(&self) -> String {
+        let min = if self.count == 0 { 0 } else { self.min };
+        let pairs: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{}, {c}]", bucket_lo(i)))
+            .collect();
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"buckets\": [{}]}}",
+            self.count,
+            self.sum,
+            self.max,
+            pairs.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lower bound lands in its bucket");
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        let values: Vec<u64> = (0..1000).map(|i| i * i % 7919).collect();
+        let mut whole = Histogram::default();
+        for &v in &values {
+            whole.observe(v);
+        }
+        // Any partition merges back to the same histogram.
+        for split in [1, 3, 333, 999] {
+            let (a, b) = values.split_at(split);
+            let mut ha = Histogram::default();
+            let mut hb = Histogram::default();
+            a.iter().for_each(|&v| ha.observe(v));
+            b.iter().for_each(|&v| hb.observe(v));
+            ha.merge(&hb);
+            assert_eq!(ha, whole);
+            assert_eq!(ha.to_json(), whole.to_json());
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_min() {
+        let h = Histogram::default();
+        assert!(h.to_json().contains("\"min\": 0"));
+        assert!(h.to_json().contains("\"buckets\": []"));
+    }
+}

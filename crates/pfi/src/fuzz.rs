@@ -385,6 +385,14 @@ impl CellPlan {
             }
         }
 
+        if obsv::enabled() {
+            // Shard totals sum to the same cell totals for any sharding, so
+            // these counters are worker-count independent; per-shard
+            // distributions would not be, and are deliberately not recorded.
+            obsv::counter_add("pfi.injections", hi.min(cfg.injections).saturating_sub(lo));
+            obsv::counter_add("pfi.failures", failures);
+            obsv::counter_add("pfi.recovery_crashes", recovery_crashes);
+        }
         ShardReport {
             injections: hi.min(cfg.injections).saturating_sub(lo),
             recovery_crashes,

@@ -30,9 +30,21 @@ pub fn all_passed(cells: &[CellReport]) -> bool {
 
 /// Renders a full crash-fuzz report as pretty-printed JSON.
 pub fn render(cfg: &FuzzConfig, cells: &[CellReport]) -> String {
+    render_with_meta(cfg, cells, None)
+}
+
+/// Like [`render`], but embeds a pre-rendered single-line JSON `meta`
+/// object (run provenance; see `obsv::runmeta`). The meta line is the
+/// only part of the report that may vary between identically-configured
+/// runs, so determinism checks drop it with a line filter.
+pub fn render_with_meta(cfg: &FuzzConfig, cells: &[CellReport], meta: Option<&str>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"pfi_crash_fuzz_v1\",\n");
+    if let Some(m) = meta {
+        debug_assert!(!m.contains('\n'), "meta must render as one line");
+        out.push_str(&format!("  \"meta\": {m},\n"));
+    }
     out.push_str(&format!(
         "  \"config\": {{\"ops\": {}, \"injections\": {}, \"seed\": {}, \"multi_crash\": {}, \"torn\": {}}},\n",
         cfg.ops, cfg.injections, cfg.seed, cfg.multi_crash, cfg.torn

@@ -279,7 +279,14 @@ impl<S: Scheduler> TracedMem<S> {
         let buffers = self.capture(nthreads, f);
         let t0 = Instant::now();
         let events = merge_kway(&buffers);
-        let stats = CaptureStats { events: events.len(), merge_seconds: t0.elapsed().as_secs_f64() };
+        let merge = t0.elapsed();
+        if obsv::enabled() {
+            obsv::counter_add("capture.runs", 1);
+            obsv::counter_add("capture.events", events.len() as u64);
+            obsv::observe("capture.events_per_run", events.len() as u64);
+            obsv::record_duration("capture.merge", merge);
+        }
+        let stats = CaptureStats { events: events.len(), merge_seconds: merge.as_secs_f64() };
         (Trace::from_events(nthreads, events), stats)
     }
 }

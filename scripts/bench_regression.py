@@ -16,29 +16,38 @@ import argparse
 import json
 import sys
 
-# Throughput series to gate (higher is better). Wall-clock fields are
-# skipped: they scale with the workload sizes the run was invoked with.
+# Throughput series to gate (higher is better), with display units.
+# Wall-clock fields are skipped: they scale with the workload sizes the
+# run was invoked with.
 SERIES = [
-    "capture.events_per_sec.t1",
-    "capture.events_per_sec.t4",
-    "capture.serialize.v1.write_mb_per_sec",
-    "capture.serialize.v1.read_mb_per_sec",
-    "capture.serialize.v2.write_mb_per_sec",
-    "capture.serialize.v2.read_mb_per_sec",
-    "scalar_engine.events_per_sec_oneshot",
-    "scalar_engine.events_per_sec_reused",
-    "dag_engine.events_per_sec",
-    "crash_fuzz.injections_per_sec.cwl",
-    "crash_fuzz.injections_per_sec.2lc",
-    "crash_fuzz.injections_per_sec.kv",
-    "crash_fuzz.injections_per_sec.txn",
+    ("capture.events_per_sec.t1", "events/s"),
+    ("capture.events_per_sec.t4", "events/s"),
+    ("capture.serialize.v1.write_mb_per_sec", "MB/s"),
+    ("capture.serialize.v1.read_mb_per_sec", "MB/s"),
+    ("capture.serialize.v2.write_mb_per_sec", "MB/s"),
+    ("capture.serialize.v2.read_mb_per_sec", "MB/s"),
+    ("scalar_engine.events_per_sec_oneshot", "events/s"),
+    ("scalar_engine.events_per_sec_reused", "events/s"),
+    ("dag_engine.events_per_sec", "events/s"),
+    ("crash_fuzz.injections_per_sec.cwl", "inj/s"),
+    ("crash_fuzz.injections_per_sec.2lc", "inj/s"),
+    ("crash_fuzz.injections_per_sec.kv", "inj/s"),
+    ("crash_fuzz.injections_per_sec.txn", "inj/s"),
 ]
 
 
 def lookup(doc, path):
+    """Resolves a dotted path, or returns None when any segment is
+    missing (older baselines predate some sections)."""
     for key in path.split("."):
-        doc = doc[key]
-    return float(doc)
+        try:
+            doc = doc[key]
+        except (KeyError, TypeError):
+            return None
+    try:
+        return float(doc)
+    except (TypeError, ValueError):
+        return None
 
 
 def main():
@@ -59,16 +68,27 @@ def main():
         baseline = json.load(f)
 
     failed = []
-    print(f"{'series':<45} {'baseline':>12} {'current':>12}  ratio")
-    for path in SERIES:
+    skipped = []
+    print(f"{'series':<45} {'unit':<9} {'baseline':>12} {'current':>12}  ratio")
+    for path, unit in SERIES:
         base = lookup(baseline, path)
         cur = lookup(current, path)
+        if base is None or cur is None:
+            where = "baseline" if base is None else "current"
+            print(f"{path:<45} {unit:<9} {'—':>12} {'—':>12}  SKIPPED "
+                  f"(missing in {where})")
+            skipped.append(path)
+            continue
         ratio = cur / base if base > 0 else float("inf")
         flag = ""
         if cur * args.max_regression < base:
             flag = f"  REGRESSED >{args.max_regression:g}x"
             failed.append(path)
-        print(f"{path:<45} {base:>12.0f} {cur:>12.0f}  {ratio:5.2f}x{flag}")
+        print(f"{path:<45} {unit:<9} {base:>12.0f} {cur:>12.0f}  {ratio:5.2f}x{flag}")
+
+    if skipped:
+        print(f"\nWARNING: skipped {len(skipped)} series missing from one "
+              f"side: {', '.join(skipped)}")
 
     if failed:
         print(f"\nFAIL: {len(failed)} series regressed by more than "
