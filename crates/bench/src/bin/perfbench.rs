@@ -23,10 +23,12 @@
 use bench::workloads::{cwl_trace, tlc_trace, StdWorkload};
 use bench::SweepRunner;
 use obsv::runmeta::RunMeta;
+use mem_trace::mmapio::MappedTrace;
+use mem_trace::profile::TraceProfile;
 use mem_trace::{io as trace_io, FreeRunScheduler, ThreadCtx, TracedMem};
 use persist_mem::MemAddr;
 use persistency::dag::PersistDag;
-use persistency::{timing, AnalysisConfig, Model};
+use persistency::{partition, timing, AnalysisConfig, Model};
 use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, Structure};
 use pqueue::traced::BarrierMode;
 use std::fmt::Write as _;
@@ -213,6 +215,40 @@ fn main() {
     let v1 = serialize_row(false);
     let v2 = serialize_row(true);
 
+    // --- Analyze pipeline: chunked-parallel (mmap'd MPTRACE2, shared
+    //     decode window feeding all model engines + the profile pass) vs
+    //     the N+1 sequential streaming passes `psim analyze` used to run.
+    //     Same capture, all five models, identical results by
+    //     construction. ---
+    let analyze_configs: Vec<AnalysisConfig> =
+        Model::ALL.iter().map(|&m| AnalysisConfig::new(m)).collect();
+    let mut v2_image = Vec::new();
+    trace_io::write_trace2(&capture_trace, &mut v2_image).unwrap();
+    let mapped = MappedTrace::from_bytes(v2_image).expect("fresh v2 image parses");
+    let analyze_segments = mapped.segment_count();
+    // Events pushed through the pipeline per run: one profile pass plus
+    // one engine pass per model.
+    let analyze_volume = capture_events_1t * (analyze_configs.len() + 1) as f64;
+    let analyze_seq_sec = best_of(3, || {
+        let p = TraceProfile::of_source(mapped.source()).unwrap();
+        std::hint::black_box(p.events);
+        for cfg in &analyze_configs {
+            let r = timing::analyze_source(mapped.source(), cfg).unwrap();
+            std::hint::black_box(r.critical_path);
+        }
+    });
+    let analyze_chunked_sec = |workers: usize| {
+        best_of(3, || {
+            let (p, rs) = partition::analyze_full(&mapped, &analyze_configs, workers).unwrap();
+            std::hint::black_box((p.events, rs.len()));
+        })
+    };
+    let analyze_t1_sec = analyze_chunked_sec(1);
+    let analyze_t4_sec = analyze_chunked_sec(4);
+    let analyze_seq_eps = analyze_volume / analyze_seq_sec;
+    let analyze_t1_eps = analyze_volume / analyze_t1_sec;
+    let analyze_t4_eps = analyze_volume / analyze_t4_sec;
+
     // --- Engine microbenchmarks on the canonical queue trace. ---
     let w = StdWorkload::figure(1, inserts);
     let (trace, _) = cwl_trace(&w, BarrierMode::Full);
@@ -345,6 +381,19 @@ fn main() {
     writeln!(json, "      \"v2_vs_v1_bytes_ratio\": {:.3}", v2.0 / v1.0).unwrap();
     writeln!(json, "    }}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"analyze\": {{").unwrap();
+    writeln!(json, "    \"events\": {},", capture_events_1t as u64).unwrap();
+    writeln!(json, "    \"models\": {},", analyze_configs.len()).unwrap();
+    writeln!(json, "    \"segments\": {analyze_segments},").unwrap();
+    writeln!(json, "    \"total_events_analyzed\": {},", analyze_volume as u64).unwrap();
+    writeln!(json, "    \"sequential_events_per_sec\": {analyze_seq_eps:.0},").unwrap();
+    writeln!(json, "    \"chunked_events_per_sec\": {{").unwrap();
+    writeln!(json, "      \"t1\": {analyze_t1_eps:.0},").unwrap();
+    writeln!(json, "      \"t4\": {analyze_t4_eps:.0}").unwrap();
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"speedup_t4_vs_sequential\": {:.2}", analyze_t4_eps / analyze_seq_eps)
+        .unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"scalar_engine\": {{").unwrap();
     writeln!(json, "    \"events\": {scalar_events},").unwrap();
     writeln!(json, "    \"events_per_sec_oneshot\": {scalar_oneshot_eps:.0},").unwrap();
@@ -417,6 +466,19 @@ fn main() {
         v1.0 / v2.0,
         v2.1,
         v2.2
+    );
+    println!();
+    println!(
+        "analyze pipeline ({} events x {} passes, {} segments):",
+        capture_events_1t as u64,
+        analyze_configs.len() + 1,
+        analyze_segments
+    );
+    println!("  sequential N+1  : {analyze_seq_eps:>12.0} events/s");
+    println!("  chunked t1      : {analyze_t1_eps:>12.0} events/s");
+    println!(
+        "  chunked t4      : {analyze_t4_eps:>12.0} events/s  ({:.2}x sequential)",
+        analyze_t4_eps / analyze_seq_eps
     );
     println!();
     println!("engine throughput (canonical CWL trace, {} events):", scalar_events);

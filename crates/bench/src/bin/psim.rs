@@ -28,12 +28,13 @@ use bench::fmt::num;
 use bench::profile as profcli;
 use bench::sweep::{SelfTimer, SweepRunner};
 use obsv::runmeta::RunMeta;
+use mem_trace::mmapio::MappedTrace;
 use mem_trace::{io as trace_io, SeededScheduler, Trace, TracedMem};
 use persist_mem::{AtomicPersistSize, MemAddr, TrackingGranularity};
 use persistency::crash::{check, Exploration};
 use persistency::dag::PersistDag;
 use persistency::observer::RecoveryObserver;
-use persistency::{timing, AnalysisConfig, Model};
+use persistency::{partition, timing, AnalysisConfig, Model};
 use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, ShardReport, Structure};
 use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayout};
 use pqueue::recovery::crash_invariant;
@@ -94,6 +95,13 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 fn open_reader(path: &str) -> Result<trace_io::TraceReader<BufReader<File>>, String> {
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     trace_io::TraceReader::new(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
+}
+
+/// Memory-maps an MPTRACE2 capture for zero-copy ingestion. `None` means
+/// the file is MPTRACE1 (or unreadable); callers fall back to the buffered
+/// reader, which reports the real error.
+fn open_mapped(path: &str) -> Option<MappedTrace> {
+    MappedTrace::open(path).ok()
 }
 
 /// Serializes a capture in the selected format (`2` = MPTRACE2, default).
@@ -217,24 +225,39 @@ fn load_layout(path: &str) -> Result<QueueLayout, String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<u64, String> {
-    // Fully streaming: the profile and each model's analysis are separate
-    // forward passes over the file, never materializing the event vector.
+    // MPTRACE2 captures are memory-mapped and analyzed chunk-parallel: the
+    // segment index lets decode workers feed all model engines plus the
+    // profile pass off one shared in-order window. MPTRACE1 falls back to
+    // the buffered reader, one streaming pass per model. Either way the
+    // output below the meta line is byte-identical for any worker count.
     let path = args.required("--trace")?;
-    let profile = mem_trace::profile::TraceProfile::of_source(open_reader(path)?)
-        .map_err(|e| format!("read {path}: {e}"))?;
-    let analyze_streaming = |cfg: &AnalysisConfig| -> Result<timing::TimingReport, String> {
-        timing::analyze_source(open_reader(path)?, cfg).map_err(|e| format!("read {path}: {e}"))
-    };
     let models: Vec<Model> = match args.get("--model") {
         Some(m) => vec![parse_model(m)?],
         None => Model::ALL.to_vec(),
     };
+    let configs: Vec<AnalysisConfig> =
+        models.iter().map(|&m| config_from(args, m)).collect::<Result<_, _>>()?;
+    let runner = SweepRunner::from_env();
+    let (profile, reports) = match open_mapped(path) {
+        Some(map) => partition::analyze_full(&map, &configs, runner.workers())
+            .map_err(|e| format!("read {path}: {e}"))?,
+        None => {
+            let profile = mem_trace::profile::TraceProfile::of_source(open_reader(path)?)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let mut reports = Vec::with_capacity(configs.len());
+            for cfg in &configs {
+                reports.push(
+                    timing::analyze_source(open_reader(path)?, cfg)
+                        .map_err(|e| format!("read {path}: {e}"))?,
+                );
+            }
+            (profile, reports)
+        }
+    };
+    let passes = models.len() as u64;
     if args.has("--json") {
         let mut rows = Vec::new();
-        let passes = models.len() as u64;
-        for model in models {
-            let cfg = config_from(args, model)?;
-            let r = analyze_streaming(&cfg)?;
+        for (model, r) in models.iter().zip(&reports) {
             rows.push(format!(
                 "    {{\"model\": \"{}\", \"critical_path\": {}, \"critical_path_per_insert\": {:.3}, \"persists\": {}, \"coalesced\": {}, \"barriers\": {}}}",
                 model,
@@ -247,7 +270,8 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
         }
         println!(
             "{{\n  \"schema\": \"psim_analyze_v1\",\n  \"meta\": {},\n  \"trace\": {{\"events\": {}, \"persists\": {}, \"persist_barriers\": {}, \"work_items\": {}}},\n  \"models\": [\n{}\n  ]\n}}",
-            RunMeta::collect(1, 1).to_json_object(),
+            RunMeta::collect(runner.workers(), runner.effective_workers(configs.len() + 1))
+                .to_json_object(),
             profile.events,
             profile.persists,
             profile.persist_barriers,
@@ -271,10 +295,7 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
         "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "model", "critical", "cp/insert", "persists", "coalesced", "barriers"
     );
-    let passes = models.len() as u64;
-    for model in models {
-        let cfg = config_from(args, model)?;
-        let r = analyze_streaming(&cfg)?;
+    for (model, r) in models.iter().zip(&reports) {
         println!(
             "{:<11} {:>12} {:>10} {:>10} {:>10} {:>10}",
             model.to_string(),
@@ -289,16 +310,33 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
 }
 
 fn cmd_cuts(args: &Args) -> Result<u64, String> {
-    let trace = load_trace(args.required("--trace")?)?;
+    let path = args.required("--trace")?;
     let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
     let samples = args.num("--samples", 100)? as usize;
     let cfg = config_from(args, model)?;
-    let dag = PersistDag::build(&trace, &cfg).map_err(|e| e.to_string())?;
+    // The DAG build consumes events in stream order, so an mmap'd capture
+    // can feed it through the decode-parallel window without loading the
+    // event vector; MPTRACE1 still goes through the in-memory path.
+    let (dag, events) = match open_mapped(path) {
+        Some(map) => {
+            let events = map.event_count();
+            let workers = SweepRunner::from_env().workers();
+            let dag = partition::with_source(&map, workers, |src| {
+                PersistDag::build_source(src, &cfg)
+            })
+            .map_err(|e| e.to_string())?;
+            (dag, events)
+        }
+        None => {
+            let trace = load_trace(path)?;
+            let events = trace.events().len() as u64;
+            (PersistDag::build(&trace, &cfg).map_err(|e| e.to_string())?, events)
+        }
+    };
     let obs = RecoveryObserver::new(&dag);
     let cuts = obs.sample_cuts(args.num("--seed", 1)?, samples);
     let sizes: Vec<usize> = cuts.iter().map(|c| c.len()).collect();
     let max = sizes.iter().copied().max().unwrap_or(0);
-    let events = trace.events().len() as u64;
     if args.has("--json") {
         println!(
             "{{\n  \"schema\": \"psim_cuts_v1\",\n  \"meta\": {},\n  \"model\": \"{model}\",\n  \"persists\": {},\n  \"states_sampled\": {},\n  \"max_cut\": {max}\n}}",
@@ -466,7 +504,13 @@ fn cmd_crash_fuzz(args: &Args) -> Result<u64, String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<u64, String> {
-    let trace = load_trace(args.required("--trace")?)?;
+    let path = args.required("--trace")?;
+    // Profiling replays the trace once per scored barrier, so materialize
+    // it — via mmap when the capture is MPTRACE2.
+    let trace = match open_mapped(path) {
+        Some(map) => map.collect().map_err(|e| format!("read {path}: {e}"))?,
+        None => load_trace(path)?,
+    };
     let model = parse_model(args.get("--model").unwrap_or("epoch"))?;
     let cfg = config_from(args, model)?;
     let top = args.num("--top", 10)? as usize;

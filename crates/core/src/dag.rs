@@ -311,6 +311,13 @@ pub enum DagError {
         /// Number of persists encountered when the cap was hit.
         count: usize,
     },
+    /// The streaming event source failed (decode or I/O error).
+    Io {
+        /// Kind of the underlying I/O error.
+        kind: std::io::ErrorKind,
+        /// Rendered error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for DagError {
@@ -320,6 +327,7 @@ impl fmt::Display for DagError {
                 f,
                 "trace has over {count} persists; use the timing engine for large traces"
             ),
+            DagError::Io { message, .. } => write!(f, "trace stream failed: {message}"),
         }
     }
 }
@@ -487,14 +495,30 @@ impl PersistDag {
     /// Returns [`DagError::TooManyPersists`] if the trace exceeds
     /// [`MAX_DAG_NODES`] distinct persists.
     pub fn build(trace: &Trace, config: &AnalysisConfig) -> Result<Self, DagError> {
+        Self::build_source(trace.source(), config)
+    }
+
+    /// Builds the DAG from a streaming event source (e.g. a
+    /// [`TraceReader`](mem_trace::io::TraceReader) or a
+    /// [`MappedTrace`](mem_trace::mmapio::MappedTrace) segment source)
+    /// without materializing the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::TooManyPersists`] past [`MAX_DAG_NODES`]
+    /// persists, and [`DagError::Io`] on source decode/I-O failures.
+    pub fn build_source<E: mem_trace::EventSource>(
+        source: E,
+        config: &AnalysisConfig,
+    ) -> Result<Self, DagError> {
         let mut dom = DagDomain::default();
         // Reuse the engine's working state (block tables, dependence
         // buffers) across builds on this thread, exactly as the timing
         // engine's `Analyzer` does — repeated DAG construction (observer
         // sampling, crash fuzzing, sweeps) skips the map re-growth.
-        let stats = BUILD_SCRATCH.with(|s| {
-            engine::run_with(trace, config, &mut dom, &mut s.borrow_mut())
-        });
+        let stats = BUILD_SCRATCH
+            .with(|s| engine::run_with_source(source, config, &mut dom, &mut s.borrow_mut()))
+            .map_err(|e| DagError::Io { kind: e.kind(), message: e.to_string() })?;
         if dom.overflow {
             return Err(DagError::TooManyPersists { count: dom.nodes.len() });
         }

@@ -20,7 +20,7 @@
 
 use crate::domain::{Domain, EventRef, WriteRec};
 use crate::{AnalysisConfig, Model};
-use mem_trace::{EventSource, Op, Trace};
+use mem_trace::{EventSource, Op};
 use persist_mem::FxHashMap;
 use std::collections::hash_map::Entry;
 use std::io;
@@ -105,19 +105,6 @@ impl<D: Domain> Scratch<D> {
             });
         }
     }
-}
-
-/// Runs the propagation over an in-memory `trace` under `config`, driving
-/// `dom`. `scratch` carries reusable engine state across runs; pass a
-/// fresh [`Scratch`] for one-shot analysis.
-pub(crate) fn run_with<D: Domain>(
-    trace: &Trace,
-    config: &AnalysisConfig,
-    dom: &mut D,
-    scratch: &mut Scratch<D>,
-) -> EngineStats {
-    run_with_source(trace.source(), config, dom, scratch)
-        .expect("in-memory trace sources cannot fail")
 }
 
 /// Runs the propagation over a streaming event `source` — one forward

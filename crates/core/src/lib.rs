@@ -68,6 +68,7 @@ mod domain;
 mod engine;
 mod model;
 pub mod observer;
+pub mod partition;
 pub mod profile;
 pub mod smallvec;
 pub mod throughput;

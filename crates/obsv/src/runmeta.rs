@@ -19,7 +19,9 @@ pub struct RunMeta {
     pub git_rev: String,
     /// UTC wall-clock time the metadata was collected, ISO-8601.
     pub timestamp_utc: String,
-    /// `available_parallelism` of the host.
+    /// Core count of the host (the larger of `available_parallelism`,
+    /// which cgroup CPU quotas can clamp, and the `/proc/cpuinfo`
+    /// processor count).
     pub host_cores: usize,
     /// Workers the run was configured with (`SWEEP_THREADS`, `--serial`).
     pub workers_configured: usize,
@@ -45,6 +47,19 @@ fn git_revision() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Counts the host's cores. `available_parallelism` alone under-reports
+/// inside containers with a cgroup CPU quota (it reflects the quota, not
+/// the machine), so the `processor` entries of `/proc/cpuinfo` are counted
+/// too and the larger value wins; on non-Linux hosts the file is simply
+/// absent and `available_parallelism` decides.
+pub fn host_core_count() -> usize {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let listed = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(listed).max(1)
 }
 
 /// Formats seconds since the Unix epoch as `YYYY-MM-DDTHH:MM:SSZ`,
@@ -85,7 +100,7 @@ impl RunMeta {
         RunMeta {
             git_rev: git_revision(),
             timestamp_utc: format_utc(secs),
-            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            host_cores: host_core_count(),
             workers_configured,
             workers_effective,
         }
@@ -136,5 +151,13 @@ mod tests {
         assert!(m.host_cores >= 1);
         assert!(m.timestamp_utc.ends_with('Z'));
         assert!(!m.git_rev.is_empty());
+    }
+
+    #[test]
+    fn host_cores_at_least_cpuinfo_count() {
+        let listed = std::fs::read_to_string("/proc/cpuinfo")
+            .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+            .unwrap_or(0);
+        assert!(host_core_count() >= listed.max(1));
     }
 }

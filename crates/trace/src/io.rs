@@ -65,22 +65,16 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// LEB128 varint encode.
-fn wvar(w: &mut impl Write, mut v: u64) -> io::Result<()> {
-    let mut buf = [0u8; 10];
-    let mut i = 0;
-    loop {
-        let b = (v & 0x7F) as u8;
+/// LEB128 varint append — the batched-encode fast path: the hot encode
+/// loop pushes whole events into a `Vec` and flushes in large blocks, so
+/// the `Write` trait is crossed once per block instead of per field.
+#[inline]
+fn push_var(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7F) | 0x80);
         v >>= 7;
-        if v == 0 {
-            buf[i] = b;
-            i += 1;
-            break;
-        }
-        buf[i] = b | 0x80;
-        i += 1;
     }
-    w.write_all(&buf[..i])
+    buf.push(v as u8);
 }
 
 /// LEB128 varint decode; rejects overlong encodings past 64 bits.
@@ -113,13 +107,15 @@ fn unzigzag(v: u64) -> i64 {
 }
 
 /// Per-thread codec predictors shared by the v2 encoder and decoder.
-#[derive(Clone, Copy)]
-struct ThreadCodec {
+/// Segment-index footers snapshot these so decode can resume mid-file
+/// ([`crate::mmapio`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ThreadCodec {
     /// Last program-order index (−1 before the thread's first event); the
     /// predictor is `prev_po + 1`, so dense program order encodes as 0.
-    prev_po: i64,
+    pub(crate) prev_po: i64,
     /// Last access offset per address space (volatile, persistent).
-    last_off: [u64; 2],
+    pub(crate) last_off: [u64; 2],
 }
 
 impl Default for ThreadCodec {
@@ -147,15 +143,6 @@ fn addr_in(space: usize, offset: u64) -> MemAddr {
     } else {
         MemAddr::volatile(offset)
     }
-}
-
-/// Writes an access offset as a zigzag delta against the thread's
-/// last offset in the same space (wrapping, hence total: any u64 delta
-/// round-trips).
-fn wdelta_off(w: &mut impl Write, st: &mut ThreadCodec, space: usize, offset: u64) -> io::Result<()> {
-    let delta = offset.wrapping_sub(st.last_off[space]);
-    st.last_off[space] = offset;
-    wvar(w, zigzag(delta as i64))
 }
 
 fn rdelta_off(r: &mut impl Read, st: &mut ThreadCodec, space: usize) -> io::Result<u64> {
@@ -223,77 +210,248 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Writes `trace` to `w` in the compact MPTRACE2 format.
+/// Encodes one event into `buf` against the per-thread predictor state —
+/// the shared core of the batched MPTRACE2 encoder.
+#[inline]
+fn encode_event2(buf: &mut Vec<u8>, st: &mut Vec<ThreadCodec>, e: &Event) -> io::Result<()> {
+    if e.thread.as_u64() >= MAX_THREADS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "MPTRACE2 supports at most 2^20 threads",
+        ));
+    }
+    // Tag byte: op tag in the low nibble; the high nibble carries
+    // `(len - 1) | (space << 3)` for data accesses, `space << 3` for
+    // PAlloc/PFree, 0 otherwise.
+    let hi = match e.op {
+        Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
+            debug_assert!((1..=8).contains(&len));
+            (len - 1) | ((space_of(addr) as u8) << 3)
+        }
+        Op::PAlloc { addr, .. } | Op::PFree { addr } => (space_of(addr) as u8) << 3,
+        _ => 0,
+    };
+    let t = match e.op {
+        Op::Load { .. } => tag::LOAD,
+        Op::Store { .. } => tag::STORE,
+        Op::Rmw { .. } => tag::RMW,
+        Op::PersistBarrier => tag::PBARRIER,
+        Op::MemBarrier => tag::MBARRIER,
+        Op::NewStrand => tag::NEWSTRAND,
+        Op::PersistSync => tag::PSYNC,
+        Op::PAlloc { .. } => tag::PALLOC,
+        Op::PFree { .. } => tag::PFREE,
+        Op::WorkBegin { .. } => tag::WBEGIN,
+        Op::WorkEnd { .. } => tag::WEND,
+    };
+    buf.push(t | (hi << 4));
+    push_var(buf, e.thread.as_u64());
+    let ts = codec_state(st, e.thread.index());
+    push_var(buf, zigzag(e.po as i64 - (ts.prev_po + 1)));
+    ts.prev_po = e.po as i64;
+    let push_off = |buf: &mut Vec<u8>, ts: &mut ThreadCodec, space: usize, offset: u64| {
+        let delta = offset.wrapping_sub(ts.last_off[space]);
+        ts.last_off[space] = offset;
+        push_var(buf, zigzag(delta as i64));
+    };
+    match e.op {
+        Op::Load { addr, value, .. } | Op::Store { addr, value, .. } => {
+            push_off(buf, ts, space_of(addr), addr.offset());
+            push_var(buf, value);
+        }
+        Op::Rmw { addr, old, new, .. } => {
+            push_off(buf, ts, space_of(addr), addr.offset());
+            push_var(buf, old);
+            push_var(buf, new);
+        }
+        Op::PAlloc { addr, size } => {
+            push_off(buf, ts, space_of(addr), addr.offset());
+            push_var(buf, size);
+        }
+        Op::PFree { addr } => push_off(buf, ts, space_of(addr), addr.offset()),
+        Op::WorkBegin { id } | Op::WorkEnd { id } => push_var(buf, id),
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Flush threshold of the batched encoder: large enough that the `Write`
+/// trait is crossed a few times per megabyte, small enough to stay cache
+/// resident.
+const ENCODE_FLUSH: usize = 64 * 1024;
+
+/// Events per segment in the default indexed layout. Each segment gets a
+/// footer entry (byte offset + predictor snapshot) so decode can seek.
+pub const DEFAULT_SEGMENT_EVENTS: u64 = 1 << 16;
+
+/// Magic trailing the segment-index footer of an indexed MPTRACE2 file.
+const IDX_MAGIC: [u8; 8] = *b"MPTIDX01";
+
+/// One entry of the segment index: where a segment starts and the decoder
+/// predictor state at that point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SegmentEntry {
+    /// Index of the segment's first event.
+    pub(crate) start_event: u64,
+    /// Byte offset of that event from the start of the file.
+    pub(crate) byte_offset: u64,
+    /// Predictor snapshot for every thread seen before the segment
+    /// (threads beyond the snapshot start from the default state).
+    pub(crate) codecs: Vec<ThreadCodec>,
+}
+
+/// Writes `trace` to `w` in the compact MPTRACE2 format, with a segment
+/// index footer every [`DEFAULT_SEGMENT_EVENTS`] events.
 ///
-/// Wrap `w` in a `BufWriter`; the codec issues many small writes.
+/// The event stream is byte-identical to the footer-less encoding and the
+/// footer lies entirely after the last event, so any MPTRACE2 reader —
+/// including pre-index ones, which stop after `count` events — decodes
+/// indexed files unchanged. Empty traces carry no index.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer, and `InvalidInput` if a thread
 /// id exceeds the format's 2²⁰ cap.
-pub fn write_trace2<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+pub fn write_trace2<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    write_trace2_segmented(trace, w, DEFAULT_SEGMENT_EVENTS)
+}
+
+/// [`write_trace2`] with an explicit segment length (events per footer
+/// entry); `0` disables the index entirely.
+pub fn write_trace2_segmented<W: Write>(
+    trace: &Trace,
+    mut w: W,
+    segment_events: u64,
+) -> io::Result<()> {
     w.write_all(&MAGIC2)?;
-    wvar(&mut w, trace.thread_count() as u64)?;
-    wvar(&mut w, trace.events().len() as u64)?;
+    let mut header = Vec::with_capacity(20);
+    push_var(&mut header, trace.thread_count() as u64);
+    push_var(&mut header, trace.events().len() as u64);
+    w.write_all(&header)?;
+    let mut pos = (MAGIC2.len() + header.len()) as u64;
+
     let mut st: Vec<ThreadCodec> = Vec::with_capacity(trace.thread_count() as usize);
-    for e in trace.events() {
-        if e.thread.as_u64() >= MAX_THREADS {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "MPTRACE2 supports at most 2^20 threads",
-            ));
+    let mut buf: Vec<u8> = Vec::with_capacity(ENCODE_FLUSH + 64);
+    let mut index: Vec<SegmentEntry> = Vec::new();
+    for (i, e) in trace.events().iter().enumerate() {
+        if segment_events > 0 && i as u64 % segment_events == 0 {
+            index.push(SegmentEntry {
+                start_event: i as u64,
+                byte_offset: pos + buf.len() as u64,
+                codecs: st.clone(),
+            });
         }
-        // Tag byte: op tag in the low nibble; the high nibble carries
-        // `(len - 1) | (space << 3)` for data accesses, `space << 3` for
-        // PAlloc/PFree, 0 otherwise.
-        let hi = match e.op {
-            Op::Load { addr, len, .. } | Op::Store { addr, len, .. } | Op::Rmw { addr, len, .. } => {
-                debug_assert!((1..=8).contains(&len));
-                (len - 1) | ((space_of(addr) as u8) << 3)
-            }
-            Op::PAlloc { addr, .. } | Op::PFree { addr } => (space_of(addr) as u8) << 3,
-            _ => 0,
-        };
-        let t = match e.op {
-            Op::Load { .. } => tag::LOAD,
-            Op::Store { .. } => tag::STORE,
-            Op::Rmw { .. } => tag::RMW,
-            Op::PersistBarrier => tag::PBARRIER,
-            Op::MemBarrier => tag::MBARRIER,
-            Op::NewStrand => tag::NEWSTRAND,
-            Op::PersistSync => tag::PSYNC,
-            Op::PAlloc { .. } => tag::PALLOC,
-            Op::PFree { .. } => tag::PFREE,
-            Op::WorkBegin { .. } => tag::WBEGIN,
-            Op::WorkEnd { .. } => tag::WEND,
-        };
-        w.write_all(&[t | (hi << 4)])?;
-        wvar(&mut w, e.thread.as_u64())?;
-        let ts = codec_state(&mut st, e.thread.index());
-        wvar(&mut w, zigzag(e.po as i64 - (ts.prev_po + 1)))?;
-        ts.prev_po = e.po as i64;
-        match e.op {
-            Op::Load { addr, value, .. } | Op::Store { addr, value, .. } => {
-                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
-                wvar(&mut w, value)?;
-            }
-            Op::Rmw { addr, old, new, .. } => {
-                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
-                wvar(&mut w, old)?;
-                wvar(&mut w, new)?;
-            }
-            Op::PAlloc { addr, size } => {
-                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
-                wvar(&mut w, size)?;
-            }
-            Op::PFree { addr } => {
-                wdelta_off(&mut w, ts, space_of(addr), addr.offset())?;
-            }
-            Op::WorkBegin { id } | Op::WorkEnd { id } => wvar(&mut w, id)?,
-            _ => {}
+        encode_event2(&mut buf, &mut st, e)?;
+        if buf.len() >= ENCODE_FLUSH {
+            w.write_all(&buf)?;
+            pos += buf.len() as u64;
+            buf.clear();
         }
     }
+    if !index.is_empty() {
+        write_index(&mut buf, &index);
+    }
+    w.write_all(&buf)?;
     Ok(())
+}
+
+/// Appends the segment index block and its fixed 24-byte trailer.
+fn write_index(buf: &mut Vec<u8>, index: &[SegmentEntry]) {
+    let start = buf.len();
+    for e in index {
+        push_var(buf, e.start_event);
+        push_var(buf, e.byte_offset);
+        push_var(buf, e.codecs.len() as u64);
+        for c in &e.codecs {
+            push_var(buf, zigzag(c.prev_po));
+            push_var(buf, c.last_off[0]);
+            push_var(buf, c.last_off[1]);
+        }
+    }
+    let index_len = (buf.len() - start) as u64;
+    buf.extend_from_slice(&index_len.to_le_bytes());
+    buf.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&IDX_MAGIC);
+}
+
+/// Parses the segment-index footer of an in-memory MPTRACE2 file, if one
+/// is present and internally consistent.
+///
+/// Returns `None` — never an error — when the footer is absent, torn or
+/// corrupt: the event stream itself is still decodable sequentially, so
+/// index damage only costs seekability. `count` comes from the
+/// already-validated header; `body_start` is the first event byte.
+pub(crate) fn parse_index(data: &[u8], body_start: usize, count: u64) -> Option<Vec<SegmentEntry>> {
+    if count == 0 || data.len() < body_start + 24 {
+        return None;
+    }
+    if data[data.len() - 8..] != IDX_MAGIC {
+        return None;
+    }
+    let fixed = data.len() - 24;
+    let index_len = u64::from_le_bytes(data[fixed..fixed + 8].try_into().unwrap());
+    let n_segments = u64::from_le_bytes(data[fixed + 8..fixed + 16].try_into().unwrap());
+    if n_segments == 0 || n_segments > count || index_len as usize > fixed - body_start {
+        return None;
+    }
+    let mut block = &data[fixed - index_len as usize..fixed];
+    let mut entries = Vec::with_capacity(n_segments.min(1 << 20) as usize);
+    for _ in 0..n_segments {
+        let start_event = rvar(&mut block).ok()?;
+        let byte_offset = rvar(&mut block).ok()?;
+        let ncodecs = rvar(&mut block).ok()?;
+        if start_event >= count || ncodecs > MAX_THREADS {
+            return None;
+        }
+        let mut codecs = Vec::with_capacity(ncodecs.min(MAX_THREADS) as usize);
+        for _ in 0..ncodecs {
+            let prev_po = unzigzag(rvar(&mut block).ok()?);
+            let o0 = rvar(&mut block).ok()?;
+            let o1 = rvar(&mut block).ok()?;
+            if !(-1..=u32::MAX as i64).contains(&prev_po) || o0 >= 1 << 63 || o1 >= 1 << 63 {
+                return None;
+            }
+            codecs.push(ThreadCodec { prev_po, last_off: [o0, o1] });
+        }
+        // Offsets must land inside the event body, strictly increasing.
+        if (byte_offset as usize) < body_start || byte_offset as usize >= fixed {
+            return None;
+        }
+        if let Some(prev) = entries.last() {
+            let prev: &SegmentEntry = prev;
+            if start_event <= prev.start_event || byte_offset <= prev.byte_offset {
+                return None;
+            }
+        } else if start_event != 0 || byte_offset as usize != body_start {
+            return None;
+        }
+        entries.push(SegmentEntry { start_event, byte_offset, codecs });
+    }
+    if !block.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Parses an MPTRACE2 header from an in-memory file: returns
+/// `(nthreads, count, body_start)` where `body_start` is the byte offset
+/// of the first event. Same validation as [`TraceReader::new`].
+pub(crate) fn parse_header2(data: &[u8]) -> io::Result<(u32, u64, usize)> {
+    let mut r = data;
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC2 {
+        return Err(bad("not an MPTRACE2 trace"));
+    }
+    let nthreads = rvar(&mut r)?;
+    let count = rvar(&mut r)?;
+    if nthreads > MAX_THREADS {
+        return Err(bad("unreasonable thread count"));
+    }
+    if count > (1 << 32) {
+        return Err(bad("unreasonable event count"));
+    }
+    Ok((nthreads as u32, count, data.len() - r.len()))
 }
 
 /// Which serialized format a [`TraceReader`] is decoding.
@@ -361,6 +519,13 @@ impl<R: Read> TraceReader<R> {
     /// The detected on-disk format.
     pub fn format(&self) -> TraceFormat {
         self.format
+    }
+
+    /// Resumes v2 decoding mid-stream: `r` must be positioned at a
+    /// segment's first event byte and `st` must be the predictor snapshot
+    /// the segment index recorded for that point ([`parse_index`]).
+    pub(crate) fn resume_v2(r: R, nthreads: u32, remaining: u64, st: Vec<ThreadCodec>) -> Self {
+        TraceReader { r, format: TraceFormat::V2, nthreads, remaining, st }
     }
 
     fn next_v1(&mut self) -> io::Result<Event> {
@@ -608,7 +773,9 @@ mod tests {
         for v2 in [false, true] {
             let mut buf = Vec::new();
             if v2 {
-                write_trace2(&t, &mut buf).unwrap();
+                // Footer-less layout so every cut point lands in the event
+                // body (cutting only the index is legal — readers ignore it).
+                write_trace2_segmented(&t, &mut buf, 0).unwrap();
             } else {
                 write_trace(&t, &mut buf).unwrap();
             }
@@ -616,6 +783,74 @@ mod tests {
                 assert!(read_trace(&buf[..cut]).is_err(), "truncated at {cut} (v2={v2})");
             }
         }
+    }
+
+    #[test]
+    fn index_footer_is_invisible_to_sequential_readers() {
+        let t = sample_trace();
+        let (mut plain, mut indexed) = (Vec::new(), Vec::new());
+        write_trace2_segmented(&t, &mut plain, 0).unwrap();
+        write_trace2_segmented(&t, &mut indexed, 4).unwrap();
+        // Identical event stream, footer strictly appended.
+        assert_eq!(&indexed[..plain.len()], plain.as_slice());
+        assert!(indexed.len() > plain.len());
+        assert_eq!(read_trace(indexed.as_slice()).unwrap(), t);
+        // Clipping just the footer still decodes (old-reader behaviour).
+        assert_eq!(read_trace(&indexed[..indexed.len() - 1]).unwrap(), t);
+    }
+
+    #[test]
+    fn segment_index_roundtrips_and_seeks() {
+        let t = all_tags_trace();
+        let seg = 4u64;
+        let mut buf = Vec::new();
+        write_trace2_segmented(&t, &mut buf, seg).unwrap();
+        let body_start = {
+            let mut h = MAGIC2.to_vec();
+            push_var(&mut h, t.thread_count() as u64);
+            push_var(&mut h, t.events().len() as u64);
+            h.len()
+        };
+        let count = t.events().len() as u64;
+        let index = parse_index(&buf, body_start, count).expect("index present");
+        assert_eq!(index.len(), (count as usize).div_ceil(seg as usize));
+        assert_eq!(index[0].start_event, 0);
+        assert_eq!(index[0].byte_offset as usize, body_start);
+        assert!(index[0].codecs.is_empty());
+        // Decoding each segment from its snapshot reproduces the exact
+        // sequential event slices.
+        for (i, entry) in index.iter().enumerate() {
+            let end_event = index.get(i + 1).map_or(count, |n| n.start_event);
+            let mut r = TraceReader::resume_v2(
+                &buf[entry.byte_offset as usize..],
+                t.thread_count(),
+                end_event - entry.start_event,
+                entry.codecs.clone(),
+            );
+            let mut got = Vec::new();
+            while let Some(e) = r.next_event().unwrap() {
+                got.push(e);
+            }
+            assert_eq!(
+                got.as_slice(),
+                &t.events()[entry.start_event as usize..end_event as usize],
+                "segment {i} mismatch"
+            );
+        }
+        // Footer-less and empty files have no index; a corrupted trailer
+        // degrades to None, never an error.
+        let mut plain = Vec::new();
+        write_trace2_segmented(&t, &mut plain, 0).unwrap();
+        assert!(parse_index(&plain, body_start, count).is_none());
+        for i in buf.len() - 24..buf.len() {
+            let mut c = buf.clone();
+            c[i] ^= 0xFF;
+            let _ = parse_index(&c, body_start, count);
+        }
+        let mut c = buf.clone();
+        let magic_at = c.len() - 8;
+        c[magic_at] ^= 0xFF;
+        assert!(parse_index(&c, body_start, count).is_none());
     }
 
     #[test]
@@ -644,12 +879,12 @@ mod tests {
         }
         // Unreasonable header counts are rejected outright.
         let mut huge = MAGIC2.to_vec();
-        wvar(&mut huge, u64::MAX).unwrap(); // nthreads
-        wvar(&mut huge, 1).unwrap();
+        push_var(&mut huge, u64::MAX); // nthreads
+        push_var(&mut huge, 1);
         assert!(read_trace(huge.as_slice()).is_err());
         let mut huge = MAGIC2.to_vec();
-        wvar(&mut huge, 1).unwrap();
-        wvar(&mut huge, u64::MAX).unwrap(); // count
+        push_var(&mut huge, 1);
+        push_var(&mut huge, u64::MAX); // count
         assert!(read_trace(huge.as_slice()).is_err());
     }
 
@@ -657,7 +892,7 @@ mod tests {
     fn varint_roundtrip_and_overlong_rejection() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX, 1 << 63] {
             let mut buf = Vec::new();
-            wvar(&mut buf, v).unwrap();
+            push_var(&mut buf, v);
             assert_eq!(rvar(&mut buf.as_slice()).unwrap(), v);
         }
         // 11 continuation bytes: too long.

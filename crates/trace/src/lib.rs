@@ -26,6 +26,8 @@
 //!   Validation"),
 //! - [`io`] — binary trace serialization (fixed-width MPTRACE1 and the
 //!   compact varint/delta MPTRACE2; capture once, analyze many),
+//! - [`mmapio`] — zero-copy `mmap` ingestion of MPTRACE2 shards; the
+//!   segment-index footer lets independent decoders seek mid-file,
 //! - [`EventSource`] — streaming ingestion: one-pass analyses pull events
 //!   from an in-memory [`Trace`] or straight off a serialized file via
 //!   [`io::TraceReader`] without materializing the event vector.
@@ -54,6 +56,7 @@ mod event;
 pub mod io;
 pub mod locks;
 mod mem;
+pub mod mmapio;
 pub mod profile;
 pub mod rng;
 mod sched;

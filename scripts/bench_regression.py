@@ -26,6 +26,9 @@ SERIES = [
     ("capture.serialize.v1.read_mb_per_sec", "MB/s"),
     ("capture.serialize.v2.write_mb_per_sec", "MB/s"),
     ("capture.serialize.v2.read_mb_per_sec", "MB/s"),
+    ("analyze.sequential_events_per_sec", "events/s"),
+    ("analyze.chunked_events_per_sec.t1", "events/s"),
+    ("analyze.chunked_events_per_sec.t4", "events/s"),
     ("scalar_engine.events_per_sec_oneshot", "events/s"),
     ("scalar_engine.events_per_sec_reused", "events/s"),
     ("dag_engine.events_per_sec", "events/s"),
