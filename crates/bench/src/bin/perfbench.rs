@@ -31,6 +31,8 @@ use persistency::dag::PersistDag;
 use persistency::{partition, timing, AnalysisConfig, Model};
 use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, Structure};
 use pqueue::traced::BarrierMode;
+use serve::harness::{run_model as serve_run, Mode as ServeMode, ServeConfig};
+use serve::StoreKind;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -302,6 +304,34 @@ fn main() {
         })
         .collect();
 
+    // --- Serve harness: virtual-time simulation throughput plus the
+    //     per-model tail latencies. The latencies are deterministic
+    //     (virtual time), so the regression gate can hold them to the
+    //     same bound as the throughput series; the wall time measures
+    //     how fast the simulator itself runs. ---
+    let serve_cfg = ServeConfig {
+        shards: 4,
+        keys: 50_000,
+        ops: 100_000,
+        rate_ops_per_sec: 2_000_000.0,
+        seed: 7,
+        ..ServeConfig::new(StoreKind::Kv)
+    };
+    let serve_models = [Model::Strict, Model::Epoch, Model::Strand];
+    let mut serve_p99: Vec<(&str, f64)> = Vec::new();
+    let mut serve_completed = 0u64;
+    let serve_sec = best_of(3, || {
+        serve_p99.clear();
+        serve_completed = 0;
+        for &m in &serve_models {
+            let r = serve_run(&serve_cfg, m, ServeMode::Virtual, runner.workers())
+                .expect("perfbench serve shards must validate");
+            serve_completed += r.completed;
+            serve_p99.push((m.name(), r.latency.quantile(0.99)));
+        }
+    });
+    let serve_sim_ops = serve_completed as f64 / serve_sec;
+
     // --- End-to-end sweep pipeline comparison. ---
     let baseline_events = sweep_serial_baseline(sweep_inserts); // warmup + volume check
     let optimized_events = sweep_optimized(&runner, sweep_inserts);
@@ -435,6 +465,20 @@ fn main() {
     }
     writeln!(json, "    }}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"serve\": {{").unwrap();
+    writeln!(json, "    \"structure\": \"{}\",", serve_cfg.kind.name()).unwrap();
+    writeln!(json, "    \"shards\": {},", serve_cfg.shards).unwrap();
+    writeln!(json, "    \"keys\": {},", serve_cfg.keys).unwrap();
+    writeln!(json, "    \"ops_per_model\": {},", serve_cfg.ops).unwrap();
+    writeln!(json, "    \"rate_ops_per_sec\": {:.0},", serve_cfg.rate_ops_per_sec).unwrap();
+    writeln!(json, "    \"sim_ops_per_sec\": {serve_sim_ops:.0},").unwrap();
+    writeln!(json, "    \"p99_ns\": {{").unwrap();
+    for (i, (name, p99)) in serve_p99.iter().enumerate() {
+        let comma = if i + 1 < serve_p99.len() { "," } else { "" };
+        writeln!(json, "      \"{name}\": {p99:.0}{comma}").unwrap();
+    }
+    writeln!(json, "    }}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"sweep\": {{").unwrap();
     writeln!(json, "    \"cells\": {},", GROUPS.len() * MODELS.len() * THREADS.len() + MODELS.len() * THREADS.len()).unwrap();
     writeln!(json, "    \"events\": {optimized_events},").unwrap();
@@ -496,6 +540,17 @@ fn main() {
     for (name, ips) in &fuzz_rows {
         let base = BASELINE_FUZZ_IPS.iter().find(|(n, _)| n == name).map(|(_, b)| *b).unwrap();
         println!("  {name:<4}: {ips:>12.0} injections/s  ({:.2}x baseline)", ips / base);
+    }
+    println!();
+    println!(
+        "serve harness ({} ops x {} models, {} shards, virtual time):",
+        serve_cfg.ops,
+        serve_models.len(),
+        serve_cfg.shards
+    );
+    println!("  simulation rate : {serve_sim_ops:>12.0} ops/s");
+    for (name, p99) in &serve_p99 {
+        println!("  p99 {name:<10}: {p99:>12.0} ns");
     }
     println!();
     println!(

@@ -39,6 +39,8 @@ use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, ShardReport, Struc
 use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayout};
 use pqueue::recovery::crash_invariant;
 use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
+use serve::harness::{render_json, render_table, run_models, Mode, ServeConfig};
+use serve::StoreKind;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -51,6 +53,13 @@ impl Args {
     }
 
     fn num(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v}")),
+        }
+    }
+
+    fn fnum(&self, flag: &str, default: f64) -> Result<f64, String> {
         match self.get(flag) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v}")),
@@ -537,8 +546,56 @@ fn cmd_profile(args: &Args) -> Result<u64, String> {
     Ok(events)
 }
 
+fn cmd_serve(args: &Args) -> Result<u64, String> {
+    let kind = args.get("--structure").unwrap_or("kv");
+    let kind = StoreKind::from_name(kind)
+        .ok_or_else(|| format!("unknown --structure {kind}; use kv, queue or txn"))?;
+    let models: Vec<Model> = match args.get("--model") {
+        None | Some("all") => Model::ALL.to_vec(),
+        Some(m) => vec![parse_model(m)?],
+    };
+    let mut cfg = ServeConfig::new(kind);
+    cfg.shards = args.num("--shards", cfg.shards as u64)?.max(1) as usize;
+    cfg.keys = args.num("--keys", cfg.keys)?.max(1);
+    cfg.ops = args.num("--ops", cfg.ops)?;
+    cfg.rate_ops_per_sec = args.fnum("--rate", cfg.rate_ops_per_sec)?;
+    cfg.theta = args.fnum("--theta", cfg.theta)?;
+    cfg.get_ratio = args.fnum("--get-ratio", cfg.get_ratio)?;
+    cfg.qdepth = args.num("--qdepth", cfg.qdepth as u64)?.max(1) as usize;
+    cfg.cpu_ns = args.fnum("--cpu-ns", cfg.cpu_ns)?;
+    cfg.banks = args.num("--banks", cfg.banks as u64)?.max(1) as usize;
+    cfg.write_latency_ns = args.fnum("--latency", cfg.write_latency_ns)?;
+    cfg.interleave_bytes = args.num("--interleave", cfg.interleave_bytes)?;
+    cfg.seed = args.num("--seed", cfg.seed)?;
+    if !(0.0..1.0).contains(&cfg.theta) {
+        return Err(format!("--theta must be in [0, 1), got {}", cfg.theta));
+    }
+    if !(0.0..=1.0).contains(&cfg.get_ratio) {
+        return Err(format!("--get-ratio must be in [0, 1], got {}", cfg.get_ratio));
+    }
+    if cfg.rate_ops_per_sec <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    // `--smoke` runs the deterministic virtual-time simulation (the CI
+    // determinism contract); the default paces real worker threads.
+    let mode = if args.has("--smoke") { Mode::Virtual } else { Mode::Wall };
+    let runner = SweepRunner::from_env();
+    let reports = run_models(&cfg, &models, mode, runner.workers())?;
+    let meta = RunMeta::collect(runner.workers(), runner.effective_workers(cfg.shards));
+    let json = render_json(&cfg, mode, &reports, &meta.to_json_object());
+    if let Some(path) = args.get("--out") {
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if args.has("--json") {
+        print!("{json}");
+    } else {
+        print!("{}", render_table(&cfg, mode, &reports));
+    }
+    Ok(cfg.ops * models.len() as u64)
+}
+
 fn usage() -> String {
-    "usage: psim <capture|analyze|cuts|crash|crash-fuzz|profile> [flags]\n\
+    "usage: psim <capture|analyze|cuts|crash|crash-fuzz|profile|serve> [flags]\n\
      capture:    --queue cwl|2lc|bounded [--mode full|racing] [--threads N] [--inserts N]\n\
                  [--seed N] [--capacity N] --out FILE [--format 1|2]  (2 = compact MPTRACE2)\n\
      analyze:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--json]\n\
@@ -549,6 +606,10 @@ fn usage() -> String {
                  [--json] [--out FILE] [--serial]\n\
      profile:    --trace FILE [--model NAME] [--atomic N] [--tracking N] [--top N]\n\
                  [--barriers N] [--json] [--out FILE] [--serial]\n\
+     serve:      [--structure kv|queue|txn] [--model all|NAME] [--shards N] [--keys N]\n\
+                 [--ops N] [--rate OPS_PER_SEC] [--theta F] [--get-ratio F] [--qdepth N]\n\
+                 [--cpu-ns F] [--banks N] [--latency NS] [--interleave BYTES] [--seed N]\n\
+                 [--smoke] [--json] [--out FILE] [--serial]  (--smoke = virtual time)\n\
      analysis commands exit nonzero when a consistency check fails"
         .into()
 }
@@ -571,6 +632,7 @@ fn main() -> ExitCode {
         "crash" => cmd_crash(&args),
         "crash-fuzz" => cmd_crash_fuzz(&args),
         "profile" => cmd_profile(&args),
+        "serve" => cmd_serve(&args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(0)

@@ -91,7 +91,11 @@ impl DeviceConfig {
         self
     }
 
-    fn bank_of(&self, addr: persist_mem::MemAddr) -> usize {
+    /// Bank servicing `addr`: consecutive `interleave_bytes` regions of the
+    /// persistent offset space map to consecutive banks, wrapping. Public so
+    /// other device consumers (the `serve` harness schedules live persists
+    /// through the same bank map) agree with [`replay`] on placement.
+    pub fn bank_of(&self, addr: persist_mem::MemAddr) -> usize {
         ((addr.offset() / self.interleave_bytes) % self.banks as u64) as usize
     }
 }

@@ -1,0 +1,132 @@
+//! Bank-contention queuing and wear accounting invariants.
+//!
+//! The in-crate unit tests cover the headline behaviors (critical-path
+//! convergence, sweep monotonicity); these tests pin down the *exact*
+//! FCFS queueing arithmetic and the wear bookkeeping identities that the
+//! `serve` harness's live device model relies on sharing.
+
+use mem_trace::{FreeRunScheduler, TracedMem};
+use nvram::{bank_sweep, replay, wear, DeviceConfig};
+use persist_mem::{AtomicPersistSize, MemAddr};
+use persistency::dag::PersistDag;
+use persistency::{AnalysisConfig, Model};
+
+/// `n` concurrent persists, one per 64-byte line, all inside one
+/// 4096-byte span (so a coarse interleave maps them to one bank).
+fn antichain(n: u64) -> PersistDag {
+    let mem = TracedMem::new(FreeRunScheduler);
+    let t = mem.run(1, move |ctx| {
+        let a = ctx.palloc(64 * n, 4096).unwrap();
+        for i in 0..n {
+            ctx.store_u64(a.add(64 * i), i);
+        }
+    });
+    PersistDag::build(&t, &AnalysisConfig::new(Model::Epoch)).unwrap()
+}
+
+#[test]
+fn fcfs_queue_stall_is_exactly_triangular() {
+    // k ready-at-zero persists on one bank: persist i waits i x latency,
+    // so total stall is lat x k(k-1)/2 and every one but the first
+    // conflicts. Any drift here means the queue is no longer FCFS.
+    let lat = 100.0;
+    for k in [2u64, 5, 8, 16] {
+        let dag = antichain(k);
+        let r = replay(&dag, &DeviceConfig::new(8, lat).with_interleave(4096));
+        assert_eq!(r.persists, k);
+        assert_eq!(r.bank_conflicts, k - 1, "k={k}");
+        assert_eq!(r.stall_ns, lat * (k * (k - 1)) as f64 / 2.0, "k={k}");
+        assert_eq!(r.makespan_ns, lat * k as f64, "k={k}");
+    }
+}
+
+#[test]
+fn doubling_banks_halves_antichain_makespan() {
+    let dag = antichain(16);
+    // 64-byte interleave: line i -> bank i % banks, a perfect stripe.
+    let m1 = replay(&dag, &DeviceConfig::new(1, 100.0).with_interleave(64)).makespan_ns;
+    let m2 = replay(&dag, &DeviceConfig::new(2, 100.0).with_interleave(64)).makespan_ns;
+    let m4 = replay(&dag, &DeviceConfig::new(4, 100.0).with_interleave(64)).makespan_ns;
+    assert_eq!(m1, 1600.0);
+    assert_eq!(m2, 800.0);
+    assert_eq!(m4, 400.0);
+}
+
+#[test]
+fn peak_utilization_is_a_fraction_and_saturates_when_serialized() {
+    let dag = antichain(12);
+    let serialized = replay(&dag, &DeviceConfig::new(4, 100.0).with_interleave(4096));
+    assert!((serialized.peak_bank_utilization - 1.0).abs() < 1e-9);
+    let striped = replay(&dag, &DeviceConfig::new(4, 100.0).with_interleave(64));
+    assert!(striped.peak_bank_utilization > 0.0);
+    assert!(striped.peak_bank_utilization <= 1.0 + 1e-9);
+}
+
+#[test]
+fn bank_map_wraps_by_interleave_region() {
+    let cfg = DeviceConfig::new(4, 100.0).with_interleave(256);
+    assert_eq!(cfg.bank_of(MemAddr::persistent(0)), 0);
+    assert_eq!(cfg.bank_of(MemAddr::persistent(255)), 0);
+    assert_eq!(cfg.bank_of(MemAddr::persistent(256)), 1);
+    assert_eq!(cfg.bank_of(MemAddr::persistent(3 * 256)), 3);
+    assert_eq!(cfg.bank_of(MemAddr::persistent(4 * 256)), 0, "wraps");
+    assert_eq!(cfg.bank_of(MemAddr::persistent(4 * 256 + 17)), 0);
+}
+
+#[test]
+fn sweep_converges_to_critical_path_and_never_regresses() {
+    let dag = antichain(32);
+    let sweep = bank_sweep(&dag, 250.0, &[1, 2, 4, 8, 16, 32, 64]);
+    for w in sweep.windows(2) {
+        assert!(w[0].1 >= w[1].1, "monotone: {sweep:?}");
+    }
+    // With a bank per persist (64-bank default 256B interleave still
+    // collides 4 lines per region: 32 lines / 256B regions = 8 regions).
+    // The converged value is bounded below by the analytical ideal.
+    let ideal = replay(&dag, &DeviceConfig::new(64, 250.0)).ideal_ns;
+    assert!(sweep.last().unwrap().1 >= ideal);
+    assert_eq!(ideal, 250.0, "antichain critical path is one persist");
+}
+
+#[test]
+fn wear_identities_hold() {
+    // Queue-like workload: 24 fresh slots plus a head word rewritten 24
+    // times, no coalescing — so raw counts are exact.
+    let mem = TracedMem::new(FreeRunScheduler);
+    let trace = mem.run(1, |ctx| {
+        let head = ctx.palloc(8, 8).unwrap();
+        let data = ctx.palloc(64 * 24, 64).unwrap();
+        for i in 0..24u64 {
+            ctx.store_u64(data.add(64 * i), i);
+            ctx.store_u64(head, i + 1);
+        }
+    });
+    let dag =
+        PersistDag::build(&trace, &AnalysisConfig::new(Model::Epoch).without_coalescing()).unwrap();
+    let r = wear::analyze(&dag, AtomicPersistSize::default());
+    assert_eq!(r.raw_writes, 48, "one raw write per store");
+    assert_eq!(r.device_writes, 48, "coalescing disabled");
+    // Identity: mean x blocks == device writes.
+    assert!((r.mean_block_writes * r.blocks_touched as f64 - r.device_writes as f64).abs() < 1e-9);
+    assert_eq!(r.max_block_writes, 24, "the head word is the hotspot");
+    assert!(r.hotspot_factor() >= 1.0, "max can never be below mean");
+    assert_eq!(r.coalescing_savings(), 0.0);
+}
+
+#[test]
+fn wear_savings_bounded_and_consistent_with_counts() {
+    let mem = TracedMem::new(FreeRunScheduler);
+    let trace = mem.run(1, |ctx| {
+        let a = ctx.palloc(64, 64).unwrap();
+        for i in 0..10u64 {
+            ctx.store_u64(a, i); // same word: fully coalescable
+        }
+    });
+    let dag = PersistDag::build(&trace, &AnalysisConfig::new(Model::Strand)).unwrap();
+    let r = wear::analyze(&dag, AtomicPersistSize::default());
+    assert_eq!(r.raw_writes, 10);
+    assert!(r.device_writes < r.raw_writes);
+    let s = r.coalescing_savings();
+    assert!((0.0..1.0).contains(&s));
+    assert!((s - (1.0 - r.device_writes as f64 / r.raw_writes as f64)).abs() < 1e-12);
+}

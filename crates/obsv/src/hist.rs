@@ -85,6 +85,52 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) of the observed values.
+    ///
+    /// Walks the buckets to the one holding the target rank
+    /// `q × (count − 1)` and interpolates linearly within it (bucket `i`
+    /// spans `[2^(i-1), 2^i)`), then clamps to the exact observed
+    /// `[min, max]` so single-sample and boundary buckets never
+    /// extrapolate. Deterministic: a pure function of the merged bucket
+    /// counts, so any shard/worker partition yields the same value.
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The extremes are tracked exactly — don't interpolate them.
+        if q == 0.0 {
+            return self.min as f64;
+        }
+        if q == 1.0 {
+            return self.max as f64;
+        }
+        let target = q * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            // Ranks [seen, seen + c) live in this bucket.
+            if target < (seen + c) as f64 {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = bucket_lo(i) as f64;
+                let frac = (target - seen as f64) / c as f64;
+                let est = lo + frac * lo; // bucket spans [lo, 2*lo)
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// Renders the histogram as a JSON object. Only non-empty buckets are
     /// emitted, as `[bucket_lo, count]` pairs in ascending bucket order.
     pub fn to_json(&self) -> String {
@@ -141,6 +187,93 @@ mod tests {
             assert_eq!(ha, whole);
             assert_eq!(ha.to_json(), whole.to_json());
         }
+    }
+
+    #[test]
+    fn quantile_empty_and_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        let mut h = Histogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(v);
+        }
+        // q=0 and q=1 clamp to the exact observed extremes.
+        assert_eq!(h.quantile(0.0), 10.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantile_single_value_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(777);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777.0, "clamped to min==max at q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_zeros_bucket() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..10 {
+            h.observe(1 << 20);
+        }
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.quantile(0.95) >= (1 << 20) as f64);
+    }
+
+    #[test]
+    fn quantile_tracks_uniform_ranks_within_bucket_error() {
+        // 10_000 samples uniform over [0, 65536): a log2 histogram can be
+        // off by at most one bucket width (2x), and interpolation should
+        // do much better in the bulk.
+        let mut h = Histogram::default();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            // xorshift — deterministic, spreads over [0, 65536).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(x % 65536);
+        }
+        for (q, expect) in [(0.5, 32768.0), (0.9, 58982.0), (0.99, 64881.0)] {
+            let got = h.quantile(q);
+            assert!(
+                got > expect / 2.0 && got < expect * 2.0,
+                "q={q}: got {got}, expected near {expect}"
+            );
+        }
+        // Monotone in q.
+        let qs: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        for w in qs.windows(2) {
+            assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+
+    #[test]
+    fn quantile_is_merge_invariant() {
+        let values: Vec<u64> = (0..5000).map(|i| (i * 2654435761u64) % 100_000).collect();
+        let mut whole = Histogram::default();
+        values.iter().for_each(|&v| whole.observe(v));
+        let (a, b) = values.split_at(1234);
+        let mut ha = Histogram::default();
+        let mut hb = Histogram::default();
+        a.iter().for_each(|&v| ha.observe(v));
+        b.iter().for_each(|&v| hb.observe(v));
+        ha.merge(&hb);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(ha.quantile(q), whole.quantile(q), "merge changes q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::default().quantile(1.5);
     }
 
     #[test]

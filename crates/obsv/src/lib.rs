@@ -129,8 +129,12 @@ static GLOBAL: Mutex<Store> = Mutex::new(Store {
 });
 
 /// Thread-local buffer. The wrapper's `Drop` merges whatever the thread
-/// recorded into the global registry when the thread exits, so scoped
-/// worker pools contribute without any explicit flush call.
+/// recorded into the global registry when the thread exits — a safety
+/// net for threads that never flush. Note the destructor runs at OS
+/// thread exit, which `std::thread::scope` does NOT wait for (its join
+/// counter drops when the closure returns), so pool workers whose
+/// results are snapshot right after the scope must call [`flush`] at the
+/// end of their closure.
 struct LocalBuf {
     store: RefCell<Store>,
     /// Names of the currently open spans on this thread, outermost first.

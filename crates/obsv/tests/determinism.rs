@@ -15,12 +15,18 @@ fn run_sharded(workers: usize, items: usize, record: impl Fn(usize) + Sync) {
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items {
-                    break;
+            s.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items {
+                        break;
+                    }
+                    record(i);
                 }
-                record(i);
+                // Flush before the closure returns: scope() can unblock as
+                // soon as the closure finishes, before this thread's TLS
+                // destructors (the automatic flush) have run.
+                obsv::flush();
             });
         }
     });

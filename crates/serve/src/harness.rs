@@ -1,0 +1,625 @@
+//! The sharded open-loop harness: arrival stream → admission → shard
+//! execution → per-model latency attribution.
+//!
+//! # Determinism (virtual-time mode)
+//!
+//! Each shard's simulation depends only on `(config, model, shard id)`:
+//! the shard regenerates the seeded global arrival stream, keeps the ops
+//! whose keys hash to it, and advances its private device clock. No state
+//! crosses shards, so shards can be simulated on any number of workers;
+//! results are merged in shard order, every histogram merge is
+//! commutative elementwise addition, and all derived floats are computed
+//! from the merged values in a fixed order — the rendered report is
+//! byte-identical for any worker count.
+//!
+//! # Wall-clock mode
+//!
+//! Same per-shard machinery anchored to real time: workers own disjoint
+//! shard sets, pace arrivals against a shared `Instant`, and — under the
+//! unbuffered strict models — spin until the device model says the
+//! operation is durable, so persist stalls cost real wall time. Reported
+//! latency is `durable − arrival` either way.
+
+use crate::device::{buffered, DeviceStats};
+use crate::gen::{shard_of, OpStream, Zipfian};
+use crate::shard::{Shard, StoreKind};
+use nvram::DeviceConfig;
+use obsv::hist::Histogram;
+use persistency::Model;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Full harness configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Structure every shard runs.
+    pub kind: StoreKind,
+    /// Number of shards (independent recovery units).
+    pub shards: usize,
+    /// Distinct keys in the keyspace.
+    pub keys: u64,
+    /// Total requests generated.
+    pub ops: u64,
+    /// Open-loop arrival rate, requests per second.
+    pub rate_ops_per_sec: f64,
+    /// Zipfian skew in `[0, 1)`; 0 = uniform.
+    pub theta: f64,
+    /// Fraction of requests that are gets.
+    pub get_ratio: f64,
+    /// Admission bound: in-flight requests a shard holds before shedding.
+    pub qdepth: usize,
+    /// CPU cost per request in virtual mode, nanoseconds.
+    pub cpu_ns: f64,
+    /// NVRAM banks per shard.
+    pub banks: usize,
+    /// NVRAM write latency, nanoseconds.
+    pub write_latency_ns: f64,
+    /// Bank interleave granularity, bytes (power of two).
+    pub interleave_bytes: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// The `psim serve` defaults: a million-key Zipfian kv workload.
+    pub fn new(kind: StoreKind) -> Self {
+        ServeConfig {
+            kind,
+            shards: 8,
+            keys: 1_000_000,
+            ops: 1_000_000,
+            rate_ops_per_sec: 500_000.0,
+            theta: 0.99,
+            get_ratio: 0.5,
+            qdepth: 64,
+            cpu_ns: 250.0,
+            banks: 8,
+            write_latency_ns: 500.0,
+            interleave_bytes: 256,
+            seed: 42,
+        }
+    }
+
+    /// A small configuration for tests and CI smoke runs.
+    pub fn smoke(kind: StoreKind) -> Self {
+        ServeConfig {
+            keys: 20_000,
+            ops: 60_000,
+            rate_ops_per_sec: 2_000_000.0,
+            ..ServeConfig::new(kind)
+        }
+    }
+
+    /// The per-shard device model.
+    pub fn device(&self) -> DeviceConfig {
+        DeviceConfig::new(self.banks, self.write_latency_ns).with_interleave(self.interleave_bytes)
+    }
+
+    fn expected_keys_per_shard(&self) -> u64 {
+        (self.keys / self.shards as u64).max(1)
+    }
+
+    fn expected_puts_per_shard(&self) -> u64 {
+        let puts = (self.ops as f64 * (1.0 - self.get_ratio)) as u64;
+        (puts / self.shards as u64).max(1)
+    }
+}
+
+/// Arrival pacing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Deterministic discrete-event simulation on virtual time.
+    Virtual,
+    /// Real threads paced against the wall clock.
+    Wall,
+}
+
+impl Mode {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Virtual => "virtual",
+            Mode::Wall => "wall",
+        }
+    }
+}
+
+/// Merged result of one model's run.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model the shards ran under.
+    pub model: Model,
+    /// Requests generated (all shards).
+    pub offered: u64,
+    /// Requests admitted and completed.
+    pub completed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Puts executed.
+    pub puts: u64,
+    /// Gets executed.
+    pub gets: u64,
+    /// Gets that found a value.
+    pub hits: u64,
+    /// Request latency (durable − arrival), nanoseconds.
+    pub latency: Histogram,
+    /// Persist stall (durable − CPU completion), nanoseconds: the persist
+    /// backpressure each model leaves on the response path.
+    pub stall: Histogram,
+    /// Admission wait (dispatch − arrival), nanoseconds.
+    pub queue_wait: Histogram,
+    /// Device-side accounting summed over shards.
+    pub device: DeviceStats,
+    /// Completion time of the last request, nanoseconds from run start.
+    pub makespan_ns: f64,
+    /// Wall-clock duration of the slowest worker (wall mode only).
+    pub wall_seconds: Option<f64>,
+    /// Shard receiving the most requests, with its count.
+    pub hottest_shard: (usize, u64),
+}
+
+impl ModelReport {
+    /// Completed requests per second over the run's makespan (or wall
+    /// time, in wall mode).
+    pub fn throughput(&self) -> f64 {
+        let secs = match self.wall_seconds {
+            Some(w) if w > 0.0 => w,
+            _ if self.makespan_ns > 0.0 => self.makespan_ns / 1e9,
+            _ => return 0.0,
+        };
+        self.completed as f64 / secs
+    }
+}
+
+/// One shard's simulation outcome (merged in shard order).
+struct ShardOutcome {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    puts: u64,
+    gets: u64,
+    hits: u64,
+    latency: Histogram,
+    stall: Histogram,
+    queue_wait: Histogram,
+    device: DeviceStats,
+    makespan_ns: f64,
+    validation: Result<(), String>,
+}
+
+/// Deterministic-order parallel map over shard ids (work stealing by
+/// index; results land in shard order regardless of scheduling).
+fn parallel_shards<R, F>(shards: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1).min(shards.max(1));
+    if workers == 1 {
+        return (0..shards).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every shard slot"))
+        .collect()
+}
+
+/// Simulates one shard on virtual time.
+fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usize) -> ShardOutcome {
+    let mut shard = Shard::new(
+        cfg.kind,
+        model,
+        cfg.device(),
+        cfg.expected_keys_per_shard(),
+        cfg.expected_puts_per_shard(),
+    );
+    let mut out = ShardOutcome {
+        offered: 0,
+        completed: 0,
+        shed: 0,
+        puts: 0,
+        gets: 0,
+        hits: 0,
+        latency: Histogram::default(),
+        stall: Histogram::default(),
+        queue_wait: Histogram::default(),
+        device: DeviceStats::default(),
+        makespan_ns: 0.0,
+        validation: Ok(()),
+    };
+    let mut inflight: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut thread_free = 0.0f64;
+    let obsv_on = obsv::enabled();
+    let lat_name = format!("serve.latency_ns.{}", model.name());
+    for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
+        if shard_of(op.key, cfg.shards) != shard_id {
+            continue;
+        }
+        out.offered += 1;
+        while let Some(&Reverse(c)) = inflight.peek() {
+            if c <= op.at_ns {
+                inflight.pop();
+            } else {
+                break;
+            }
+        }
+        if inflight.len() >= cfg.qdepth {
+            out.shed += 1;
+            continue;
+        }
+        let t = op.at_ns as f64;
+        let dispatch = t.max(thread_free);
+        shard.dev.begin_op(dispatch);
+        shard.execute(&op);
+        let cpu_done = dispatch + cfg.cpu_ns;
+        let complete = shard.dev.end_op(cpu_done);
+        // Buffered models release the shard thread at CPU speed; the
+        // strict models hold it until durability.
+        thread_free = if buffered(model) { cpu_done } else { complete };
+        let lat = (complete - t).round() as u64;
+        out.latency.observe(lat);
+        out.stall.observe((complete - cpu_done).round() as u64);
+        out.queue_wait.observe((dispatch - t).round() as u64);
+        if obsv_on {
+            obsv::observe(&lat_name, lat);
+        }
+        inflight.push(Reverse(complete.ceil() as u64));
+        out.completed += 1;
+        out.makespan_ns = out.makespan_ns.max(complete);
+    }
+    out.puts = shard.puts;
+    out.gets = shard.gets;
+    out.hits = shard.hits;
+    out.device = shard.dev.stats();
+    out.validation = shard.validate();
+    if obsv_on {
+        // Worker threads must flush before their closure returns: scope
+        // join doesn't wait for TLS destructors.
+        obsv::flush();
+    }
+    out
+}
+
+/// Runs one worker's shard set against the wall clock.
+#[allow(clippy::too_many_arguments)]
+fn wall_worker(
+    cfg: &ServeConfig,
+    model: Model,
+    zipf: &Zipfian,
+    my_shards: &[usize],
+    start: Instant,
+) -> Vec<(usize, ShardOutcome)> {
+    let mut shards: Vec<(usize, Shard, BinaryHeap<Reverse<u64>>, ShardOutcome)> = my_shards
+        .iter()
+        .map(|&id| {
+            let shard = Shard::new(
+                cfg.kind,
+                model,
+                cfg.device(),
+                cfg.expected_keys_per_shard(),
+                cfg.expected_puts_per_shard(),
+            );
+            let out = ShardOutcome {
+                offered: 0,
+                completed: 0,
+                shed: 0,
+                puts: 0,
+                gets: 0,
+                hits: 0,
+                latency: Histogram::default(),
+                stall: Histogram::default(),
+                queue_wait: Histogram::default(),
+                device: DeviceStats::default(),
+                makespan_ns: 0.0,
+                validation: Ok(()),
+            };
+            (id, shard, BinaryHeap::new(), out)
+        })
+        .collect();
+    let obsv_on = obsv::enabled();
+    let lat_name = format!("serve.latency_ns.{}", model.name());
+    for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
+        let owner = shard_of(op.key, cfg.shards);
+        let Some(slot) = shards.iter_mut().find(|(id, ..)| *id == owner) else {
+            continue;
+        };
+        let (_, shard, inflight, out) = slot;
+        out.offered += 1;
+        // Pace the open loop: wait for the arrival instant (sleep for the
+        // bulk, spin the last stretch), but never fall behind silently —
+        // if we're late the request just sees the lag as latency.
+        loop {
+            let now = start.elapsed().as_nanos() as u64;
+            if now >= op.at_ns {
+                break;
+            }
+            let gap = op.at_ns - now;
+            if gap > 100_000 {
+                std::thread::sleep(std::time::Duration::from_nanos(gap - 50_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let now = start.elapsed().as_nanos() as u64;
+        while let Some(&Reverse(c)) = inflight.peek() {
+            if c <= now {
+                inflight.pop();
+            } else {
+                break;
+            }
+        }
+        if inflight.len() >= cfg.qdepth {
+            out.shed += 1;
+            continue;
+        }
+        shard.dev.begin_op(now as f64);
+        shard.execute(&op);
+        let cpu_done = start.elapsed().as_nanos() as f64;
+        let complete = shard.dev.end_op(cpu_done);
+        if !buffered(model) {
+            // Unbuffered front end: the worker stalls until durability.
+            while (start.elapsed().as_nanos() as f64) < complete {
+                std::hint::spin_loop();
+            }
+        }
+        let lat = (complete - op.at_ns as f64).max(0.0).round() as u64;
+        out.latency.observe(lat);
+        out.stall.observe((complete - cpu_done).max(0.0).round() as u64);
+        out.queue_wait.observe(now.saturating_sub(op.at_ns));
+        if obsv_on {
+            obsv::observe(&lat_name, lat);
+        }
+        inflight.push(Reverse(complete.ceil() as u64));
+        out.completed += 1;
+        out.makespan_ns = out.makespan_ns.max(complete);
+    }
+    if obsv_on {
+        obsv::flush();
+    }
+    shards
+        .into_iter()
+        .map(|(id, shard, _, mut out)| {
+            out.puts = shard.puts;
+            out.gets = shard.gets;
+            out.hits = shard.hits;
+            out.device = shard.dev.stats();
+            out.validation = shard.validate();
+            (id, out)
+        })
+        .collect()
+}
+
+/// Merges per-shard outcomes (in shard order) into a model report.
+fn merge(model: Model, outcomes: Vec<ShardOutcome>, wall: Option<f64>) -> Result<ModelReport, String> {
+    let mut r = ModelReport {
+        model,
+        offered: 0,
+        completed: 0,
+        shed: 0,
+        puts: 0,
+        gets: 0,
+        hits: 0,
+        latency: Histogram::default(),
+        stall: Histogram::default(),
+        queue_wait: Histogram::default(),
+        device: DeviceStats::default(),
+        makespan_ns: 0.0,
+        wall_seconds: wall,
+        hottest_shard: (0, 0),
+    };
+    for (i, o) in outcomes.into_iter().enumerate() {
+        o.validation.map_err(|e| format!("shard {i} failed validation under {model}: {e}"))?;
+        r.offered += o.offered;
+        r.completed += o.completed;
+        r.shed += o.shed;
+        r.puts += o.puts;
+        r.gets += o.gets;
+        r.hits += o.hits;
+        r.latency.merge(&o.latency);
+        r.stall.merge(&o.stall);
+        r.queue_wait.merge(&o.queue_wait);
+        r.device.merge(&o.device);
+        r.makespan_ns = r.makespan_ns.max(o.makespan_ns);
+        if o.offered > r.hottest_shard.1 {
+            r.hottest_shard = (i, o.offered);
+        }
+    }
+    if obsv::enabled() {
+        obsv::counter_add("serve.completed", r.completed);
+        obsv::counter_add("serve.shed", r.shed);
+    }
+    Ok(r)
+}
+
+/// Runs one model over all shards and merges the result.
+///
+/// # Errors
+///
+/// Returns a description if any shard fails post-run recovery validation.
+pub fn run_model(
+    cfg: &ServeConfig,
+    model: Model,
+    mode: Mode,
+    workers: usize,
+) -> Result<ModelReport, String> {
+    let zipf = Zipfian::new(cfg.keys, cfg.theta);
+    match mode {
+        Mode::Virtual => {
+            let outcomes =
+                parallel_shards(cfg.shards, workers, |id| simulate_shard(cfg, model, &zipf, id));
+            merge(model, outcomes, None)
+        }
+        Mode::Wall => {
+            let workers = workers.max(1).min(cfg.shards.max(1));
+            let assignments: Vec<Vec<usize>> = (0..workers)
+                .map(|w| (0..cfg.shards).filter(|s| s % workers == w).collect())
+                .collect();
+            let start = Instant::now();
+            let mut tagged: Vec<(usize, ShardOutcome)> = std::thread::scope(|s| {
+                let handles: Vec<_> = assignments
+                    .iter()
+                    .map(|mine| s.spawn(|| wall_worker(cfg, model, &zipf, mine, start)))
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("wall worker panicked")).collect()
+            });
+            let wall = start.elapsed().as_secs_f64();
+            tagged.sort_by_key(|(id, _)| *id);
+            merge(model, tagged.into_iter().map(|(_, o)| o).collect(), Some(wall))
+        }
+    }
+}
+
+/// Runs every requested model (sequentially — each model's run already
+/// fans out over shards).
+///
+/// # Errors
+///
+/// As [`run_model`].
+pub fn run_models(
+    cfg: &ServeConfig,
+    models: &[Model],
+    mode: Mode,
+    workers: usize,
+) -> Result<Vec<ModelReport>, String> {
+    models.iter().map(|&m| run_model(cfg, m, mode, workers)).collect()
+}
+
+/// Renders one latency histogram as a JSON object with interpolated
+/// percentiles.
+fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"p50\": {:.0}, \"p99\": {:.0}, \"p999\": {:.0}, \"mean\": {:.1}, \"max\": {}}}",
+        h.quantile(0.50),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.mean(),
+        h.max
+    )
+}
+
+/// Renders the full `psim_serve_v1` report. `meta` is the caller's
+/// single-line `RunMeta` object (kept on its own line so determinism
+/// checks can filter it).
+pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"psim_serve_v1\",\n");
+    out.push_str(&format!("  \"meta\": {meta},\n"));
+    out.push_str(&format!(
+        "  \"config\": {{\"structure\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"keys\": {}, \"ops\": {}, \"rate_ops_per_sec\": {:.0}, \"zipf_theta\": {:.2}, \"get_ratio\": {:.2}, \"qdepth\": {}, \"cpu_ns\": {:.0}, \"banks\": {}, \"write_latency_ns\": {:.0}, \"interleave_bytes\": {}, \"seed\": {}}},\n",
+        cfg.kind.name(),
+        mode.name(),
+        cfg.shards,
+        cfg.keys,
+        cfg.ops,
+        cfg.rate_ops_per_sec,
+        cfg.theta,
+        cfg.get_ratio,
+        cfg.qdepth,
+        cfg.cpu_ns,
+        cfg.banks,
+        cfg.write_latency_ns,
+        cfg.interleave_bytes,
+        cfg.seed
+    ));
+    out.push_str("  \"models\": [\n");
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let d = &r.device;
+            let hotspot = if d.wear_blocks > 0 && d.device_writes > 0 {
+                d.wear_max_block as f64 * d.wear_blocks as f64 / d.device_writes as f64
+            } else {
+                0.0
+            };
+            let wall = r
+                .wall_seconds
+                .map(|w| format!(", \"wall_seconds\": {w:.3}"))
+                .unwrap_or_default();
+            format!(
+                "    {{\"model\": \"{}\", \"offered\": {}, \"completed\": {}, \"shed\": {}, \"puts\": {}, \"gets\": {}, \"hits\": {}, \"throughput_ops_per_sec\": {:.0}, \"makespan_ms\": {:.3}{wall},\n     \"latency_ns\": {},\n     \"persist_stall_ns\": {},\n     \"queue_wait_ns\": {},\n     \"device\": {{\"stores\": {}, \"device_writes\": {}, \"absorbed\": {}, \"bank_conflicts\": {}, \"bank_wait_ms\": {:.3}, \"wear_blocks\": {}, \"wear_max_block\": {}, \"wear_hotspot\": {:.2}}},\n     \"hottest_shard\": {{\"shard\": {}, \"offered\": {}}}}}",
+                r.model,
+                r.offered,
+                r.completed,
+                r.shed,
+                r.puts,
+                r.gets,
+                r.hits,
+                r.throughput(),
+                r.makespan_ns / 1e6,
+                hist_json(&r.latency),
+                hist_json(&r.stall),
+                hist_json(&r.queue_wait),
+                d.stores,
+                d.device_writes,
+                d.absorbed(),
+                d.bank_conflicts,
+                d.bank_wait_ns / 1e6,
+                d.wear_blocks,
+                d.wear_max_block,
+                hotspot,
+                r.hottest_shard.0,
+                r.hottest_shard.1
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table.
+pub fn render_table(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve [{}]: {} over {} shards, {} keys, {} ops @ {:.0} ops/s (zipf {:.2}, get {:.2}), qdepth {}, {} banks x {:.0} ns\n",
+        mode.name(),
+        cfg.kind.name(),
+        cfg.shards,
+        cfg.keys,
+        cfg.ops,
+        cfg.rate_ops_per_sec,
+        cfg.theta,
+        cfg.get_ratio,
+        cfg.qdepth,
+        cfg.banks,
+        cfg.write_latency_ns
+    ));
+    out.push_str(&format!(
+        "{:<11} {:>9} {:>9} {:>7} {:>10} {:>9} {:>9} {:>9} {:>10} {:>9} {:>9}\n",
+        "model", "offered", "completed", "shed", "ops/s", "p50-ns", "p99-ns", "p999-ns", "stall-p99", "writes", "absorbed"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<11} {:>9} {:>9} {:>7} {:>10.0} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>9} {:>9}\n",
+            r.model.to_string(),
+            r.offered,
+            r.completed,
+            r.shed,
+            r.throughput(),
+            r.latency.quantile(0.50),
+            r.latency.quantile(0.99),
+            r.latency.quantile(0.999),
+            r.stall.quantile(0.99),
+            r.device.device_writes,
+            r.device.absorbed()
+        ));
+    }
+    out
+}

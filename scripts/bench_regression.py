@@ -36,6 +36,17 @@ SERIES = [
     ("crash_fuzz.injections_per_sec.2lc", "inj/s"),
     ("crash_fuzz.injections_per_sec.kv", "inj/s"),
     ("crash_fuzz.injections_per_sec.txn", "inj/s"),
+    ("serve.sim_ops_per_sec", "ops/s"),
+]
+
+# Latency series to gate (lower is better). These come from the serve
+# harness's *virtual-time* simulation, so they are deterministic up to
+# libm differences between hosts; the loose factor still catches a model
+# semantics regression (e.g. epoch accidentally serializing like strict).
+LOWER_IS_BETTER = [
+    ("serve.p99_ns.strict", "ns"),
+    ("serve.p99_ns.epoch", "ns"),
+    ("serve.p99_ns.strand", "ns"),
 ]
 
 
@@ -73,7 +84,9 @@ def main():
     failed = []
     skipped = []
     print(f"{'series':<45} {'unit':<9} {'baseline':>12} {'current':>12}  ratio")
-    for path, unit in SERIES:
+    for path, unit, lower_is_better in (
+        [(p, u, False) for p, u in SERIES] + [(p, u, True) for p, u in LOWER_IS_BETTER]
+    ):
         base = lookup(baseline, path)
         cur = lookup(current, path)
         if base is None or cur is None:
@@ -84,7 +97,11 @@ def main():
             continue
         ratio = cur / base if base > 0 else float("inf")
         flag = ""
-        if cur * args.max_regression < base:
+        if lower_is_better:
+            regressed = cur > base * args.max_regression
+        else:
+            regressed = cur * args.max_regression < base
+        if regressed:
             flag = f"  REGRESSED >{args.max_regression:g}x"
             failed.append(path)
         print(f"{path:<45} {unit:<9} {base:>12.0f} {cur:>12.0f}  {ratio:5.2f}x{flag}")
