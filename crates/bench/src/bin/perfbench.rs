@@ -32,6 +32,7 @@ use persistency::{partition, timing, AnalysisConfig, Model};
 use pfi::fuzz::{shard_ranges, CellPlan, FuzzCell, FuzzConfig, Structure};
 use pqueue::traced::BarrierMode;
 use serve::harness::{run_model as serve_run, Mode as ServeMode, ServeConfig};
+use serve::knee::{find_knee, KneeConfig};
 use serve::StoreKind;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -332,6 +333,33 @@ fn main() {
     });
     let serve_sim_ops = serve_completed as f64 / serve_sec;
 
+    // --- Saturation knees and batched tails: deterministic virtual-time
+    //     series (no wall timing involved), so the regression gate can
+    //     hold them tight. The knee sweep runs with group-persist
+    //     batching on; the batched/unbatched pair drives the same
+    //     overload rate so the p99 series isolates what batching buys
+    //     each model. ---
+    let knee_base = ServeConfig { batch: 32, ..serve_cfg.clone() };
+    let knee_search = KneeConfig { probes: 4, workers: runner.workers(), ..KneeConfig::default() };
+    let knee_rows: Vec<(&str, f64)> = serve_models
+        .iter()
+        .map(|&m| {
+            let k = find_knee(&knee_base, m, &knee_search).expect("knee probes must validate");
+            (m.name(), k.knee_rate)
+        })
+        .collect();
+    let overload_rate = 8_000_000.0;
+    let batched_cfg =
+        ServeConfig { batch: 32, rate_ops_per_sec: overload_rate, ..serve_cfg.clone() };
+    let batched_rows: Vec<(&str, f64, f64, u64)> = serve_models
+        .iter()
+        .map(|&m| {
+            let r = serve_run(&batched_cfg, m, ServeMode::Virtual, runner.workers())
+                .expect("batched serve shards must validate");
+            (m.name(), r.latency.quantile(0.99), r.mean_batch_fill(), r.device.absorbed())
+        })
+        .collect();
+
     // --- End-to-end sweep pipeline comparison. ---
     let baseline_events = sweep_serial_baseline(sweep_inserts); // warmup + volume check
     let optimized_events = sweep_optimized(&runner, sweep_inserts);
@@ -477,6 +505,39 @@ fn main() {
         let comma = if i + 1 < serve_p99.len() { "," } else { "" };
         writeln!(json, "      \"{name}\": {p99:.0}{comma}").unwrap();
     }
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"knee\": {{").unwrap();
+    writeln!(json, "      \"batch\": {},", knee_base.batch).unwrap();
+    writeln!(json, "      \"probes\": {},", knee_search.probes).unwrap();
+    writeln!(json, "      \"shed_frac_max\": {},", knee_search.shed_frac).unwrap();
+    writeln!(json, "      \"rate_ops_per_sec\": {{").unwrap();
+    for (i, (name, rate)) in knee_rows.iter().enumerate() {
+        let comma = if i + 1 < knee_rows.len() { "," } else { "" };
+        writeln!(json, "        \"{name}\": {rate:.0}{comma}").unwrap();
+    }
+    writeln!(json, "      }}").unwrap();
+    writeln!(json, "    }},").unwrap();
+    writeln!(json, "    \"batched\": {{").unwrap();
+    writeln!(json, "      \"batch\": {},", batched_cfg.batch).unwrap();
+    writeln!(json, "      \"rate_ops_per_sec\": {overload_rate:.0},").unwrap();
+    writeln!(json, "      \"p99_ns\": {{").unwrap();
+    for (i, (name, p99, ..)) in batched_rows.iter().enumerate() {
+        let comma = if i + 1 < batched_rows.len() { "," } else { "" };
+        writeln!(json, "        \"{name}\": {p99:.0}{comma}").unwrap();
+    }
+    writeln!(json, "      }},").unwrap();
+    writeln!(json, "      \"mean_fill\": {{").unwrap();
+    for (i, (name, _, fill, _)) in batched_rows.iter().enumerate() {
+        let comma = if i + 1 < batched_rows.len() { "," } else { "" };
+        writeln!(json, "        \"{name}\": {fill:.2}{comma}").unwrap();
+    }
+    writeln!(json, "      }},").unwrap();
+    writeln!(json, "      \"absorbed\": {{").unwrap();
+    for (i, (name, _, _, absorbed)) in batched_rows.iter().enumerate() {
+        let comma = if i + 1 < batched_rows.len() { "," } else { "" };
+        writeln!(json, "        \"{name}\": {absorbed}{comma}").unwrap();
+    }
+    writeln!(json, "      }}").unwrap();
     writeln!(json, "    }}").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"sweep\": {{").unwrap();
@@ -551,6 +612,17 @@ fn main() {
     println!("  simulation rate : {serve_sim_ops:>12.0} ops/s");
     for (name, p99) in &serve_p99 {
         println!("  p99 {name:<10}: {p99:>12.0} ns");
+    }
+    println!();
+    println!(
+        "serve knees (batch {}, shed <= {:.0}%) and batched tails @ {overload_rate:.0} ops/s:",
+        knee_base.batch,
+        knee_search.shed_frac * 100.0
+    );
+    for ((name, rate), (_, p99, fill, _)) in knee_rows.iter().zip(batched_rows.iter()) {
+        println!(
+            "  {name:<10}: knee {rate:>10.0} ops/s   batched p99 {p99:>8.0} ns  (fill {fill:.2})"
+        );
     }
     println!();
     println!(

@@ -40,6 +40,7 @@ use pqueue::bounded::{bounded_crash_invariant, run_bounded_workload, BoundedLayo
 use pqueue::recovery::crash_invariant;
 use pqueue::traced::{run_2lc_workload, run_cwl_workload, BarrierMode, QueueLayout, QueueParams};
 use serve::harness::{render_json, render_table, run_models, Mode, ServeConfig};
+use serve::knee::{find_knees, render_knee_json, render_knee_table, KneeConfig};
 use serve::StoreKind;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -562,6 +563,8 @@ fn cmd_serve(args: &Args) -> Result<u64, String> {
     cfg.theta = args.fnum("--theta", cfg.theta)?;
     cfg.get_ratio = args.fnum("--get-ratio", cfg.get_ratio)?;
     cfg.qdepth = args.num("--qdepth", cfg.qdepth as u64)?.max(1) as usize;
+    cfg.batch = args.num("--batch", cfg.batch as u64)?.max(1) as usize;
+    cfg.batch_wait_ns = args.fnum("--batch-wait-ns", cfg.batch_wait_ns)?;
     cfg.cpu_ns = args.fnum("--cpu-ns", cfg.cpu_ns)?;
     cfg.banks = args.num("--banks", cfg.banks as u64)?.max(1) as usize;
     cfg.write_latency_ns = args.fnum("--latency", cfg.write_latency_ns)?;
@@ -580,6 +583,33 @@ fn cmd_serve(args: &Args) -> Result<u64, String> {
     // determinism contract); the default paces real worker threads.
     let mode = if args.has("--smoke") { Mode::Virtual } else { Mode::Wall };
     let runner = SweepRunner::from_env();
+    if args.has("--knee") {
+        // Saturation-knee sweep: always virtual time (each probe is a full
+        // deterministic run; --rate is ignored, the sweep owns the rate).
+        let knee = KneeConfig {
+            shed_frac: args.fnum("--knee-shed", 0.01)?,
+            p99_limit_ns: args.fnum("--knee-p99", 0.0)?,
+            rate_floor: args.fnum("--knee-floor", 50_000.0)?,
+            probes: args.num("--knee-probes", 6)? as usize,
+            workers: runner.workers(),
+        };
+        if knee.shed_frac < 0.0 {
+            return Err("--knee-shed must be nonnegative".into());
+        }
+        let results = find_knees(&cfg, &models, &knee)?;
+        let runs: u64 = results.iter().map(|k| k.runs as u64).sum();
+        let meta = RunMeta::collect(runner.workers(), runner.effective_workers(cfg.shards));
+        let json = render_knee_json(&cfg, &knee, &results, &meta.to_json_object());
+        if let Some(path) = args.get("--out") {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if args.has("--json") {
+            print!("{json}");
+        } else {
+            print!("{}", render_knee_table(&cfg, &knee, &results));
+        }
+        return Ok(cfg.ops * runs);
+    }
     let reports = run_models(&cfg, &models, mode, runner.workers())?;
     let meta = RunMeta::collect(runner.workers(), runner.effective_workers(cfg.shards));
     let json = render_json(&cfg, mode, &reports, &meta.to_json_object());
@@ -608,8 +638,10 @@ fn usage() -> String {
                  [--barriers N] [--json] [--out FILE] [--serial]\n\
      serve:      [--structure kv|queue|txn] [--model all|NAME] [--shards N] [--keys N]\n\
                  [--ops N] [--rate OPS_PER_SEC] [--theta F] [--get-ratio F] [--qdepth N]\n\
-                 [--cpu-ns F] [--banks N] [--latency NS] [--interleave BYTES] [--seed N]\n\
-                 [--smoke] [--json] [--out FILE] [--serial]  (--smoke = virtual time)\n\
+                 [--batch N] [--batch-wait-ns F] [--cpu-ns F] [--banks N] [--latency NS]\n\
+                 [--interleave BYTES] [--seed N] [--smoke] [--json] [--out FILE] [--serial]\n\
+                 [--knee [--knee-shed F] [--knee-p99 NS] [--knee-floor OPS] [--knee-probes N]]\n\
+                 (--smoke = virtual time; --knee = saturation-rate sweep, always virtual)\n\
      analysis commands exit nonzero when a consistency check fails"
         .into()
 }

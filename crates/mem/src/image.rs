@@ -29,10 +29,25 @@ const MAX_IMAGE_BYTES: u64 = 1 << 30;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct MemoryImage {
     volatile: Vec<u8>,
     persistent: Vec<u8>,
+}
+
+impl Clone for MemoryImage {
+    fn clone(&self) -> Self {
+        MemoryImage { volatile: self.volatile.clone(), persistent: self.persistent.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Vec::clone_from keeps the existing allocation when it is large
+        // enough; callers that snapshot images in a loop (the crash-fuzz
+        // multi-crash leg) reuse one scratch image instead of reallocating
+        // both spaces per iteration.
+        self.volatile.clone_from(&source.volatile);
+        self.persistent.clone_from(&source.persistent);
+    }
 }
 
 impl MemoryImage {

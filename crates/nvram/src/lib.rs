@@ -98,6 +98,16 @@ impl DeviceConfig {
     pub fn bank_of(&self, addr: persist_mem::MemAddr) -> usize {
         ((addr.offset() / self.interleave_bytes) % self.banks as u64) as usize
     }
+
+    /// Bank servicing cache line `line` (line index = persistent offset /
+    /// [`persist_mem::CACHE_LINE_BYTES`]). Line-indexed consumers (the
+    /// `serve` group-persist scheduler keys its dirty set and wear map by
+    /// line) get the same placement as [`DeviceConfig::bank_of`] without
+    /// round-tripping through an address.
+    pub fn bank_of_line(&self, line: u64) -> usize {
+        ((line * persist_mem::CACHE_LINE_BYTES / self.interleave_bytes) % self.banks as u64)
+            as usize
+    }
 }
 
 /// Outcome of replaying a persist DAG through a device.

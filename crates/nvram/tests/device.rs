@@ -130,3 +130,21 @@ fn wear_savings_bounded_and_consistent_with_counts() {
     assert!((0.0..1.0).contains(&s));
     assert!((s - (1.0 - r.device_writes as f64 / r.raw_writes as f64)).abs() < 1e-12);
 }
+
+#[test]
+fn bank_of_line_agrees_with_bank_of() {
+    // The serve scheduler keys persists by cache-line index; its bank
+    // placement must agree with the address-based map replay uses, for
+    // every interleave granularity at or above a line.
+    for interleave in [64u64, 256, 512, 4096] {
+        let cfg = DeviceConfig::new(8, 100.0).with_interleave(interleave);
+        for line in 0..4096u64 {
+            let addr = MemAddr::persistent(line * 64);
+            assert_eq!(
+                cfg.bank_of_line(line),
+                cfg.bank_of(addr),
+                "line {line}, interleave {interleave}"
+            );
+        }
+    }
+}

@@ -18,7 +18,9 @@
 //! When the target's recovery writes (the undo log), its recovery script
 //! is replayed through a fresh shadow and a *second* crash is injected
 //! into it (multi-crash), checking that recovery is itself
-//! crash-consistent.
+//! crash-consistent. Scripts whose writes are byte-level no-ops on the
+//! crash image are skipped — a second crash over no-op writes cannot
+//! change the image, so the leg is redundant (see [`script_mutates`]).
 
 use crate::inject::{CrashCase, FragmentSet};
 use crate::replay::Replayer;
@@ -175,42 +177,48 @@ fn injection_seed(cell_seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Applies a recovery script's writes (barriers are ordering-only).
-fn apply_script(mut image: MemoryImage, script: &[RecoveryStep]) -> MemoryImage {
-    for step in script {
-        if let RecoveryStep::Write { addr, value } = step {
-            image.write_u64(*addr, *value).expect("recovery write in range");
-        }
-    }
-    image
-}
-
-/// Replays a recovery script through a fresh shadow over `base`, giving
-/// the event stream a second crash can be injected into.
-fn record_recovery(base: &MemoryImage, script: &[RecoveryStep]) -> Recording {
-    let mut s = ShadowPmem::with_base(base.clone());
+/// Replays a recovery script through a reusable shadow rebased over
+/// `base`, giving the event stream a second crash can be injected into.
+/// The shadow keeps its allocations across calls.
+fn record_recovery(shadow: &mut ShadowPmem, base: &MemoryImage, script: &[RecoveryStep]) {
+    shadow.reset_with(base);
     for step in script {
         match step {
             RecoveryStep::Write { addr, value } => {
-                s.store_u64(*addr, *value);
-                s.flush(*addr, 8);
+                shadow.store_u64(*addr, *value);
+                shadow.flush(*addr, 8);
             }
-            RecoveryStep::Barrier => s.fence(),
+            RecoveryStep::Barrier => shadow.fence(),
         }
     }
-    s.into_recording()
+}
+
+/// Does applying the script change the image? A script whose writes all
+/// restore bytes the image already holds is a no-op: a second crash at any
+/// point of it leaves the image byte-identical, re-recovery computes the
+/// same script, and the check re-evaluates the already-passing state — so
+/// the multi-crash leg is provably redundant and can be skipped. This is
+/// what makes the undo-log target delta-replay-aware: the common case (a
+/// crash image whose durable log header is already idle) stops paying the
+/// per-injection image clone, recovery re-record, and fragment rebuild.
+fn script_mutates(image: &MemoryImage, script: &[RecoveryStep]) -> bool {
+    script.iter().any(|step| match step {
+        RecoveryStep::Write { addr, value } => image.read_u64(*addr).ok() != Some(*value),
+        RecoveryStep::Barrier => false,
+    })
 }
 
 /// Runs first-crash recovery + checks through the delta replayer. On
-/// success returns the recovery script, plus — only when `want_image` is
-/// set and the script writes — a clone of the pre-recovery image (the
-/// inputs a second crash needs). The replayer is always left reset.
+/// success returns the recovery script; when `scratch` is provided and the
+/// script actually mutates the image, the pre-recovery image (the inputs a
+/// second crash needs) is copied into it — allocation-free after the first
+/// use — and the returned flag is set. The replayer is always left reset.
 fn eval_first(
     target: &dyn FuzzTarget,
     replayer: &mut Replayer<'_>,
     case: &CrashCase,
-    want_image: bool,
-) -> Result<(Option<MemoryImage>, Vec<RecoveryStep>), String> {
+    scratch: Option<&mut MemoryImage>,
+) -> Result<(bool, Vec<RecoveryStep>), String> {
     replayer.load(case);
     let script = match target.recovery_script(replayer.image()) {
         Ok(s) => s,
@@ -219,32 +227,45 @@ fn eval_first(
             return Err(format!("recovery rejected the image: {e}"));
         }
     };
-    let img = (want_image && !script.is_empty()).then(|| replayer.image().clone());
+    let mut took_image = false;
+    if let Some(scratch) = scratch {
+        if script_mutates(replayer.image(), &script) {
+            scratch.clone_from(replayer.image());
+            took_image = true;
+        }
+    }
     let (completed, begun) = replayer.ops_at(case.point);
     replayer.apply_recovery(&script);
     let res = target.check(replayer.image(), completed, begun);
     replayer.reset();
     res?;
-    Ok((img, script))
+    Ok((took_image, script))
 }
 
-/// Runs the second-crash leg: materialize the mid-recovery image, run
-/// recovery *again* on it, check against the original op history.
+/// Runs the second-crash leg: materialize the mid-recovery image (into the
+/// caller's reusable scratch), run recovery *again* on it, check against
+/// the original op history.
+#[allow(clippy::too_many_arguments)]
 fn eval_second(
     target: &dyn FuzzTarget,
     frags2: &FragmentSet,
     base: &MemoryImage,
+    img2: &mut MemoryImage,
     model: Model,
     case2: &CrashCase,
     completed: u64,
     begun: u64,
 ) -> Result<(), String> {
-    let img2 = frags2.materialize(base, model, case2);
+    frags2.materialize_into(img2, base, model, case2);
     let script2 = target
-        .recovery_script(&img2)
+        .recovery_script(img2)
         .map_err(|e| format!("re-recovery rejected the image: {e}"))?;
-    let recovered = apply_script(img2, &script2);
-    target.check(&recovered, completed, begun)
+    for step in &script2 {
+        if let RecoveryStep::Write { addr, value } = step {
+            img2.write_u64(*addr, *value).expect("recovery write in range");
+        }
+    }
+    target.check(img2, completed, begun)
 }
 
 /// The outcome of one contiguous injection range of a cell. Shards are
@@ -313,6 +334,13 @@ impl CellPlan {
         let cfg = &self.cfg;
         let points = self.rec.events.len() as u64 + 1;
         let mut replayer = Replayer::new(&self.frags, &self.rec, model);
+        // Multi-crash-leg scratch, reused across the whole shard
+        // (clone_from / reset_with keep the allocations): the pre-recovery
+        // image, the recovery re-recording shadow, and the second-crash
+        // materialization target.
+        let mut scratch = MemoryImage::new();
+        let mut leg_shadow = ShadowPmem::new();
+        let mut leg_image = MemoryImage::new();
 
         let mut failures = 0u64;
         let mut recovery_crashes = 0u64;
@@ -329,14 +357,15 @@ impl CellPlan {
             };
             let case = self.frags.draw(model, point, &mut rng, cfg.torn);
 
-            match eval_first(target, &mut replayer, &case, cfg.multi_crash) {
+            let scratch_for = cfg.multi_crash.then_some(&mut scratch);
+            match eval_first(target, &mut replayer, &case, scratch_for) {
                 Err(_) => {
                     failures += 1;
                     if first_failure.is_none() {
                         let shrunk = self.frags.shrink(model, &case, |c| {
-                            eval_first(target, &mut replayer, c, false).is_err()
+                            eval_first(target, &mut replayer, c, None).is_err()
                         });
-                        let message = eval_first(target, &mut replayer, &shrunk, false)
+                        let message = eval_first(target, &mut replayer, &shrunk, None)
                             .expect_err("shrunk case still fails");
                         first_failure = Some(FailureReport {
                             injection: i,
@@ -348,14 +377,17 @@ impl CellPlan {
                         });
                     }
                 }
-                Ok((Some(img), script)) => {
+                Ok((true, script)) => {
                     recovery_crashes += 1;
-                    let rec2 = record_recovery(&img, &script);
-                    let frags2 = FragmentSet::build(&rec2, AtomicPersistSize::default());
+                    let img = &scratch;
+                    record_recovery(&mut leg_shadow, img, &script);
+                    let frags2 =
+                        FragmentSet::from_events(leg_shadow.events(), AtomicPersistSize::default());
                     let (completed, begun) = replayer.ops_at(case.point);
-                    let p2 = rng.gen_below(rec2.events.len() as u64 + 1) as usize;
+                    let p2 = rng.gen_below(leg_shadow.len() as u64 + 1) as usize;
                     let case2 = frags2.draw(model, p2, &mut rng, cfg.torn);
-                    if eval_second(target, &frags2, &img, model, &case2, completed, begun)
+                    let img2 = &mut leg_image;
+                    if eval_second(target, &frags2, img, img2, model, &case2, completed, begun)
                         .is_err()
                     {
                         failures += 1;
@@ -363,11 +395,13 @@ impl CellPlan {
                             // Shrink the recovery crash with the first crash
                             // fixed.
                             let shrunk2 = frags2.shrink(model, &case2, |c2| {
-                                eval_second(target, &frags2, &img, model, c2, completed, begun)
-                                    .is_err()
+                                eval_second(
+                                    target, &frags2, img, img2, model, c2, completed, begun,
+                                )
+                                .is_err()
                             });
                             let message = eval_second(
-                                target, &frags2, &img, model, &shrunk2, completed, begun,
+                                target, &frags2, img, img2, model, &shrunk2, completed, begun,
                             )
                             .expect_err("shrunk recovery crash still fails");
                             first_failure = Some(FailureReport {
@@ -381,7 +415,7 @@ impl CellPlan {
                         }
                     }
                 }
-                Ok((None, _)) => {}
+                Ok((false, _)) => {}
             }
         }
 
@@ -479,6 +513,15 @@ mod tests {
         let r = quick(6, 120, Structure::Txn, Model::Epoch);
         assert!(r.passed(), "{:?}", r.first_failure);
         assert!(r.recovery_crashes > 0, "rollback scripts must be re-crashed");
+        // The delta-aware skip must drop the no-op legs (crash images whose
+        // durable log header is already idle) without losing the write-ful
+        // ones.
+        assert!(
+            r.recovery_crashes < r.injections,
+            "no-op recovery scripts must not be re-crashed ({} of {})",
+            r.recovery_crashes,
+            r.injections
+        );
     }
 
     #[test]

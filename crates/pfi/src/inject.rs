@@ -126,11 +126,19 @@ impl FragmentSet {
     /// per-model durability points. `unit` is the atomic persist size for
     /// torn-write modeling.
     pub fn build(rec: &Recording, unit: AtomicPersistSize) -> Self {
+        Self::from_events(&rec.events, unit)
+    }
+
+    /// [`FragmentSet::build`] over a bare event log — the base and final
+    /// images play no part in fragment construction, so callers holding a
+    /// live [`crate::shadow::ShadowPmem`] can build without finishing it
+    /// into a [`Recording`].
+    pub fn from_events(events: &[ShadowEvent], unit: AtomicPersistSize) -> Self {
         let line_sz = CACHE_LINE_BYTES;
         // Tag every event with (epoch, strand, strand_epoch).
-        let mut tags = Vec::with_capacity(rec.events.len());
+        let mut tags = Vec::with_capacity(events.len());
         let (mut epoch, mut strand, mut strand_epoch) = (0u32, 0u32, 0u32);
-        for e in &rec.events {
+        for e in events {
             tags.push((epoch, strand, strand_epoch));
             match e {
                 ShadowEvent::Fence => {
@@ -146,7 +154,7 @@ impl FragmentSet {
         }
 
         let mut frags = Vec::new();
-        for (idx, e) in rec.events.iter().enumerate() {
+        for (idx, e) in events.iter().enumerate() {
             let ShadowEvent::Store { addr, data } = e else { continue };
             let (epoch, strand, strand_epoch) = tags[idx];
             let mut off = 0usize;
@@ -174,7 +182,7 @@ impl FragmentSet {
         // Durability scans (event counts are small; clarity over big-O).
         for f in &mut frags {
             let mut covered: Option<u32> = None; // strand of the last covering flush
-            for (i, e) in rec.events.iter().enumerate().skip(f.event + 1) {
+            for (i, e) in events.iter().enumerate().skip(f.event + 1) {
                 match e {
                     ShadowEvent::Flush { addr, len } => {
                         let lo = addr.offset() / line_sz;
@@ -207,7 +215,7 @@ impl FragmentSet {
             }
         }
 
-        FragmentSet { frags, events_len: rec.events.len(), unit: unit.bytes() }
+        FragmentSet { frags, events_len: events.len(), unit: unit.bytes() }
     }
 
     /// All fragments, in store (sequence) order.
@@ -466,9 +474,23 @@ impl FragmentSet {
     /// Builds the post-crash image for `case`: the base image plus every
     /// durable fragment plus the surviving units, applied in store order.
     pub fn materialize(&self, base: &MemoryImage, model: Model, case: &CrashCase) -> MemoryImage {
+        let mut img = MemoryImage::new();
+        self.materialize_into(&mut img, base, model, case);
+        img
+    }
+
+    /// [`FragmentSet::materialize`] into a caller-owned image, reusing its
+    /// allocations (`img` is overwritten, not merged into).
+    pub fn materialize_into(
+        &self,
+        img: &mut MemoryImage,
+        base: &MemoryImage,
+        model: Model,
+        case: &CrashCase,
+    ) {
         let kept: std::collections::BTreeMap<usize, u64> =
             case.survivors.iter().map(|s| (s.frag, s.unit_mask)).collect();
-        let mut img = base.clone();
+        img.clone_from(base);
         for (i, f) in self.frags.iter().enumerate() {
             if f.event >= case.point {
                 continue;
@@ -492,7 +514,6 @@ impl FragmentSet {
                     .expect("materialized fragment in range");
             }
         }
-        img
     }
 
     /// Cache lines of pending fragments that `case` drops or tears.

@@ -61,6 +61,21 @@ impl ShadowPmem {
         ShadowPmem { cache: image.clone(), base: image, events: Vec::new() }
     }
 
+    /// Rebases a shadow for reuse: the durable floor becomes a copy of
+    /// `image` and the event log is cleared, keeping every allocation.
+    /// Loops that re-record per iteration (the crash-fuzz multi-crash leg)
+    /// use one shadow instead of building one per [`ShadowPmem::with_base`].
+    pub fn reset_with(&mut self, image: &MemoryImage) {
+        self.base.clone_from(image);
+        self.cache.clone_from(image);
+        self.events.clear();
+    }
+
+    /// The events recorded so far, in execution order.
+    pub fn events(&self) -> &[ShadowEvent] {
+        &self.events
+    }
+
     /// Marks the start of logical operation `id`.
     pub fn op_begin(&mut self, id: u64) {
         self.events.push(ShadowEvent::OpBegin(id));

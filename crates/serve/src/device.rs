@@ -109,6 +109,14 @@ pub struct ShardDevice {
     dirty: Vec<u64>,
     /// Writes per wear block (one block per cache line).
     wear: FxHashMap<u64, u64>,
+    /// Inside a group-persist window ([`ShardDevice::begin_group`]): the
+    /// buffered models defer flushes and fences to the closing barrier.
+    in_group: bool,
+    /// Max completion among persists serviced since `begin_group`.
+    group_max_done: f64,
+    /// When set, every serviced line is appended (test instrumentation for
+    /// schedule-differential properties).
+    schedule_log: Option<Vec<u64>>,
     stats: DeviceStats,
 }
 
@@ -126,6 +134,9 @@ impl ShardDevice {
             line_last_done: FxHashMap::default(),
             dirty: Vec::new(),
             wear: FxHashMap::default(),
+            in_group: false,
+            group_max_done: 0.0,
+            schedule_log: None,
             stats: DeviceStats::default(),
         }
     }
@@ -144,6 +155,45 @@ impl ShardDevice {
         cpu_done_ns.max(self.op_max_done)
     }
 
+    /// Opens a group-persist window at `now_ns`. Operations inside the
+    /// window still run their own [`ShardDevice::begin_op`] /
+    /// [`ShardDevice::end_op`] brackets, but the *buffered* models defer
+    /// every flush and fence to the closing barrier ([`ShardDevice::
+    /// end_group`]), so the whole batch coalesces dirty lines batch-wide
+    /// and pays one epoch barrier instead of one per request. The strict
+    /// models are untouched — their persists stay store-granular and keep
+    /// exactly the dependence chain an unbatched run would build, which is
+    /// what makes group mode schedule-transparent under strict (see the
+    /// differential tests).
+    pub fn begin_group(&mut self, now_ns: f64) {
+        self.now_ns = now_ns;
+        self.group_max_done = now_ns;
+        self.in_group = true;
+    }
+
+    /// Closes the group: flushes every line still dirty (the batch-wide
+    /// coalescing point), issues the single closing fence, and returns
+    /// when the whole group is durable (never earlier than `cpu_done_ns`,
+    /// the batch's last CPU completion).
+    pub fn end_group(&mut self, cpu_done_ns: f64) -> f64 {
+        self.in_group = false;
+        if !matches!(self.model, Model::Strict | Model::StrictRmo) {
+            // The closing barrier is issued once the batch's CPU work has
+            // drained; each deferred line becomes one device write here no
+            // matter how many requests stored to it.
+            self.now_ns = self.now_ns.max(cpu_done_ns);
+            let mut i = 0;
+            while i < self.dirty.len() {
+                let line = self.dirty[i];
+                self.schedule(line);
+                i += 1;
+            }
+            self.dirty.clear();
+            self.fence();
+        }
+        cpu_done_ns.max(self.group_max_done)
+    }
+
     /// Accounting snapshot, with the wear map folded in.
     pub fn stats(&self) -> DeviceStats {
         let mut s = self.stats.clone();
@@ -160,7 +210,7 @@ impl ShardDevice {
     /// predecessor and the line's bank, then occupies the bank for one
     /// write latency.
     fn schedule(&mut self, line: u64) {
-        let bank = self.cfg.bank_of(MemAddr::persistent(line * CACHE_LINE_BYTES));
+        let bank = self.cfg.bank_of_line(line);
         let ready = match self.model {
             Model::Bpfs => {
                 self.now_ns.max(self.line_last_done.get(&line).copied().unwrap_or(0.0))
@@ -186,6 +236,24 @@ impl ShardDevice {
         }
         *self.wear.entry(line).or_insert(0) += 1;
         self.stats.device_writes += 1;
+        self.group_max_done = self.group_max_done.max(done);
+        if let Some(log) = &mut self.schedule_log {
+            log.push(line);
+        }
+    }
+
+    /// Turns schedule recording on or off (clearing any recorded lines).
+    /// Test instrumentation: with recording on, [`ShardDevice::
+    /// schedule_log`] exposes every serviced line in service order, which
+    /// is what the batching differential properties compare.
+    pub fn record_schedule(&mut self, on: bool) {
+        self.schedule_log = on.then(Vec::new);
+    }
+
+    /// Lines serviced so far, in service order (empty unless
+    /// [`ShardDevice::record_schedule`] enabled recording).
+    pub fn schedule_log(&self) -> &[u64] {
+        self.schedule_log.as_deref().unwrap_or(&[])
     }
 
     /// A store of `len` bytes at `addr` in the persistent space.
@@ -213,6 +281,9 @@ impl ShardDevice {
         if matches!(self.model, Model::Strict | Model::StrictRmo) {
             return; // already serviced at store time
         }
+        if self.in_group {
+            return; // deferred: lines stay dirty until the closing barrier
+        }
         let first = Self::line_of(addr);
         let last = Self::line_of(addr.add(len.max(1) - 1));
         let mut i = 0;
@@ -231,6 +302,12 @@ impl ShardDevice {
     /// except under BPFS, whose ordering is per-line, and strict, whose
     /// chain already covers it.
     pub fn fence(&mut self) {
+        if self.in_group && !matches!(self.model, Model::Strict | Model::StrictRmo) {
+            // Group persist: the request opted into group-granular
+            // durability, so intra-group epoch boundaries dissolve into the
+            // closing barrier — the amortization the batch is for.
+            return;
+        }
         match self.model {
             Model::Strict | Model::Bpfs => {}
             _ => {
@@ -435,5 +512,107 @@ mod tests {
         d.begin_op(0.0);
         d.store(addr(0).add(60), 8); // straddles lines 0 and 1
         assert_eq!(d.stats().device_writes, 2);
+    }
+
+    #[test]
+    fn group_coalesces_across_operations_under_epoch() {
+        // Two requests store the same line; each flushes and fences as the
+        // protocols do. Ungrouped: two device writes in two epochs.
+        let mut d = dev(Model::Epoch, 8);
+        for _ in 0..2 {
+            d.begin_op(0.0);
+            d.store(addr(0), 8);
+            d.flush(addr(0), 8);
+            d.fence();
+        }
+        assert_eq!(d.stats().device_writes, 2);
+
+        // Grouped: both requests' stores stay dirty until the closing
+        // barrier, where the shared line becomes ONE device write.
+        let mut g = dev(Model::Epoch, 8);
+        g.begin_group(0.0);
+        for _ in 0..2 {
+            g.begin_op(0.0);
+            g.store(addr(0), 8);
+            g.flush(addr(0), 8);
+            g.fence();
+        }
+        let done = g.end_group(0.0);
+        assert_eq!(g.stats().device_writes, 1);
+        assert_eq!(done, 100.0);
+    }
+
+    #[test]
+    fn group_is_schedule_transparent_under_strict_family() {
+        for model in [Model::Strict, Model::StrictRmo] {
+            let run = |grouped: bool| {
+                let mut d = dev(model, 8);
+                d.record_schedule(true);
+                if grouped {
+                    d.begin_group(0.0);
+                }
+                let mut last = 0.0f64;
+                for i in 0..4u64 {
+                    d.begin_op(last);
+                    d.store(addr(i % 2), 8);
+                    d.flush(addr(i % 2), 8);
+                    d.fence();
+                    last = d.end_op(last);
+                }
+                if grouped {
+                    d.end_group(last);
+                }
+                (d.schedule_log().to_vec(), d.stats())
+            };
+            let (plain_sched, plain_stats) = run(false);
+            let (group_sched, group_stats) = run(true);
+            assert_eq!(plain_sched, group_sched, "{model}: strict persists must not reorder");
+            assert_eq!(plain_stats, group_stats, "{model}: strict timing must not change");
+        }
+    }
+
+    #[test]
+    fn group_closing_barrier_orders_next_group() {
+        let mut d = dev(Model::Epoch, 64);
+        d.begin_group(0.0);
+        d.begin_op(0.0);
+        d.store(addr(0), 8);
+        d.flush(addr(0), 8);
+        d.fence();
+        d.end_op(0.0);
+        let first = d.end_group(0.0);
+        assert_eq!(first, 100.0);
+
+        // The next group's persists (different line, different bank) must
+        // still start after the first group's closing barrier.
+        d.begin_group(first);
+        d.begin_op(first);
+        d.store(addr(1), 8);
+        d.flush(addr(1), 8);
+        d.fence();
+        d.end_op(first);
+        assert_eq!(d.end_group(first), 200.0);
+    }
+
+    #[test]
+    fn strand_barrier_stays_live_inside_groups() {
+        // Two strand operations in one group, touching the same bank: the
+        // strand barrier between them still clears dependences, so only
+        // bank contention orders their closing-barrier persists.
+        let mut d = ShardDevice::new(DeviceConfig::new(1, 100.0).with_interleave(64), Model::Strand);
+        d.begin_group(0.0);
+        for i in 0..2u64 {
+            d.strand();
+            d.begin_op(0.0);
+            d.store(addr(i), 8);
+            d.flush(addr(i), 8);
+            d.fence();
+            d.end_op(0.0);
+        }
+        let done = d.end_group(0.0);
+        // One bank: 2 writes serialize on the bank (100 + 100), not on any
+        // inherited dependence horizon.
+        assert_eq!(done, 200.0);
+        assert_eq!(d.stats().bank_conflicts, 1);
     }
 }

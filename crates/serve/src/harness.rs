@@ -21,7 +21,7 @@
 //! latency is `durable − arrival` either way.
 
 use crate::device::{buffered, DeviceStats};
-use crate::gen::{shard_of, OpStream, Zipfian};
+use crate::gen::{shard_of, Op, OpStream, Zipfian};
 use crate::shard::{Shard, StoreKind};
 use nvram::DeviceConfig;
 use obsv::hist::Histogram;
@@ -51,6 +51,15 @@ pub struct ServeConfig {
     pub get_ratio: f64,
     /// Admission bound: in-flight requests a shard holds before shedding.
     pub qdepth: usize,
+    /// Group-persist batch bound: admitted requests a shard accumulates
+    /// before dispatching them back-to-back as one persist group. 1 =
+    /// unbatched (every request is its own group; bit-identical to the
+    /// pre-batching harness).
+    pub batch: usize,
+    /// Batch deadline: a partial batch dispatches once its oldest member
+    /// has waited this long, so batching cannot hold a request hostage at
+    /// low load.
+    pub batch_wait_ns: f64,
     /// CPU cost per request in virtual mode, nanoseconds.
     pub cpu_ns: f64,
     /// NVRAM banks per shard.
@@ -75,6 +84,8 @@ impl ServeConfig {
             theta: 0.99,
             get_ratio: 0.5,
             qdepth: 64,
+            batch: 1,
+            batch_wait_ns: 2_000.0,
             cpu_ns: 250.0,
             banks: 8,
             write_latency_ns: 500.0,
@@ -153,6 +164,11 @@ pub struct ModelReport {
     pub queue_wait: Histogram,
     /// Device-side accounting summed over shards.
     pub device: DeviceStats,
+    /// Persist groups dispatched (== `completed` when `batch` is 1).
+    pub batches: u64,
+    /// Groups dispatched because they filled to the batch bound (the rest
+    /// closed on the batch-wait deadline or at end of stream).
+    pub batches_full: u64,
     /// Completion time of the last request, nanoseconds from run start.
     pub makespan_ns: f64,
     /// Wall-clock duration of the slowest worker (wall mode only).
@@ -172,6 +188,22 @@ impl ModelReport {
         };
         self.completed as f64 / secs
     }
+
+    /// Mean requests per dispatched persist group (1.0 when unbatched).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+
+    /// Shed fraction of offered load.
+    pub fn shed_frac(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
 }
 
 /// One shard's simulation outcome (merged in shard order).
@@ -186,8 +218,52 @@ struct ShardOutcome {
     stall: Histogram,
     queue_wait: Histogram,
     device: DeviceStats,
+    batches: u64,
+    batches_full: u64,
     makespan_ns: f64,
     validation: Result<(), String>,
+}
+
+impl ShardOutcome {
+    fn empty() -> Self {
+        ShardOutcome {
+            offered: 0,
+            completed: 0,
+            shed: 0,
+            puts: 0,
+            gets: 0,
+            hits: 0,
+            latency: Histogram::default(),
+            stall: Histogram::default(),
+            queue_wait: Histogram::default(),
+            device: DeviceStats::default(),
+            batches: 0,
+            batches_full: 0,
+            makespan_ns: 0.0,
+            validation: Ok(()),
+        }
+    }
+
+    /// Records one completed request's latency attribution.
+    fn observe(
+        &mut self,
+        arrival: f64,
+        cpu_start: f64,
+        cpu_done: f64,
+        complete: f64,
+        obsv_on: bool,
+        lat_name: &str,
+    ) {
+        let lat = (complete - arrival).max(0.0).round() as u64;
+        self.latency.observe(lat);
+        self.stall.observe((complete - cpu_done).max(0.0).round() as u64);
+        self.queue_wait.observe((cpu_start - arrival).max(0.0).round() as u64);
+        if obsv_on {
+            obsv::observe(lat_name, lat);
+        }
+        self.completed += 1;
+        self.makespan_ns = self.makespan_ns.max(complete);
+    }
 }
 
 /// Deterministic-order parallel map over shard ids (work stealing by
@@ -221,6 +297,77 @@ where
         .collect()
 }
 
+/// Dispatches one closed batch back-to-back on the shard, starting no
+/// earlier than `dispatch_at` (or when the shard thread frees up).
+///
+/// A singleton batch takes the unbatched path — bit-identical to the
+/// pre-batching harness, which is what keeps `batch = 1` runs (and every
+/// existing baseline) byte-stable. Larger batches open a device
+/// group-persist window: requests execute back-to-back, the buffered
+/// models coalesce dirty lines batch-wide and become durable together at
+/// the closing barrier, the strict models keep their per-store chains and
+/// per-request durability inside the window.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_batch(
+    cfg: &ServeConfig,
+    model: Model,
+    shard: &mut Shard,
+    batch: &mut Vec<Op>,
+    slots: &mut Vec<(f64, f64, f64, f64)>,
+    dispatch_at: f64,
+    thread_free: &mut f64,
+    inflight: &mut BinaryHeap<Reverse<u64>>,
+    out: &mut ShardOutcome,
+    obsv_on: bool,
+    lat_name: &str,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    out.batches += 1;
+    let dispatch = dispatch_at.max(*thread_free);
+    if batch.len() == 1 {
+        let op = batch[0];
+        let t = op.at_ns as f64;
+        shard.dev.begin_op(dispatch);
+        shard.execute(&op);
+        let cpu_done = dispatch + cfg.cpu_ns;
+        let complete = shard.dev.end_op(cpu_done);
+        // Buffered models release the shard thread at CPU speed; the
+        // strict models hold it until durability.
+        *thread_free = if buffered(model) { cpu_done } else { complete };
+        out.observe(t, dispatch, cpu_done, complete, obsv_on, lat_name);
+        inflight.push(Reverse(complete.ceil() as u64));
+        batch.clear();
+        return;
+    }
+    shard.dev.begin_group(dispatch);
+    slots.clear();
+    let mut cpu = dispatch;
+    for op in batch.iter() {
+        let cpu_start = cpu;
+        shard.dev.begin_op(cpu_start);
+        shard.execute(op);
+        let cpu_done = cpu_start + cfg.cpu_ns;
+        let op_durable = shard.dev.end_op(cpu_done);
+        // Back-to-back execution: buffered models run the next request at
+        // CPU speed, strict models hold the thread to durability per op.
+        cpu = if buffered(model) { cpu_done } else { op_durable };
+        slots.push((op.at_ns as f64, cpu_start, cpu_done, op_durable));
+    }
+    let group_done = shard.dev.end_group(cpu);
+    for &(t, cpu_start, cpu_done, op_durable) in slots.iter() {
+        // Group durability: buffered requests respond when the group's
+        // closing barrier lands; strict requests were already durable at
+        // their own chained persists.
+        let complete = if buffered(model) { group_done.max(cpu_done) } else { op_durable };
+        out.observe(t, cpu_start, cpu_done, complete, obsv_on, lat_name);
+        inflight.push(Reverse(complete.ceil() as u64));
+    }
+    *thread_free = cpu;
+    batch.clear();
+}
+
 /// Simulates one shard on virtual time.
 fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usize) -> ShardOutcome {
     let mut shard = Shard::new(
@@ -230,22 +377,13 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
         cfg.expected_keys_per_shard(),
         cfg.expected_puts_per_shard(),
     );
-    let mut out = ShardOutcome {
-        offered: 0,
-        completed: 0,
-        shed: 0,
-        puts: 0,
-        gets: 0,
-        hits: 0,
-        latency: Histogram::default(),
-        stall: Histogram::default(),
-        queue_wait: Histogram::default(),
-        device: DeviceStats::default(),
-        makespan_ns: 0.0,
-        validation: Ok(()),
-    };
+    let mut out = ShardOutcome::empty();
     let mut inflight: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut thread_free = 0.0f64;
+    let batch_cap = cfg.batch.max(1);
+    let mut batch: Vec<Op> = Vec::with_capacity(batch_cap);
+    let mut slots: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(batch_cap);
+    let mut deadline = 0.0f64;
     let obsv_on = obsv::enabled();
     let lat_name = format!("serve.latency_ns.{}", model.name());
     for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
@@ -253,6 +391,15 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
             continue;
         }
         out.offered += 1;
+        // A waiting batch whose deadline passed dispatches first (virtual
+        // time: nothing else happened on this shard in between, so the
+        // dispatch is dated back to the deadline instant).
+        if !batch.is_empty() && (op.at_ns as f64) > deadline {
+            dispatch_batch(
+                cfg, model, &mut shard, &mut batch, &mut slots, deadline, &mut thread_free,
+                &mut inflight, &mut out, obsv_on, &lat_name,
+            );
+        }
         while let Some(&Reverse(c)) = inflight.peek() {
             if c <= op.at_ns {
                 inflight.pop();
@@ -260,30 +407,31 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
                 break;
             }
         }
-        if inflight.len() >= cfg.qdepth {
+        // Requests waiting in the batch occupy admission slots too.
+        if inflight.len() + batch.len() >= cfg.qdepth {
             out.shed += 1;
             continue;
         }
         let t = op.at_ns as f64;
-        let dispatch = t.max(thread_free);
-        shard.dev.begin_op(dispatch);
-        shard.execute(&op);
-        let cpu_done = dispatch + cfg.cpu_ns;
-        let complete = shard.dev.end_op(cpu_done);
-        // Buffered models release the shard thread at CPU speed; the
-        // strict models hold it until durability.
-        thread_free = if buffered(model) { cpu_done } else { complete };
-        let lat = (complete - t).round() as u64;
-        out.latency.observe(lat);
-        out.stall.observe((complete - cpu_done).round() as u64);
-        out.queue_wait.observe((dispatch - t).round() as u64);
-        if obsv_on {
-            obsv::observe(&lat_name, lat);
+        if batch.is_empty() {
+            deadline = t + cfg.batch_wait_ns;
         }
-        inflight.push(Reverse(complete.ceil() as u64));
-        out.completed += 1;
-        out.makespan_ns = out.makespan_ns.max(complete);
+        batch.push(op);
+        if batch.len() >= batch_cap {
+            if batch_cap > 1 {
+                out.batches_full += 1;
+            }
+            dispatch_batch(
+                cfg, model, &mut shard, &mut batch, &mut slots, t, &mut thread_free,
+                &mut inflight, &mut out, obsv_on, &lat_name,
+            );
+        }
     }
+    // End of stream: the trailing partial batch dispatches on its deadline.
+    dispatch_batch(
+        cfg, model, &mut shard, &mut batch, &mut slots, deadline, &mut thread_free, &mut inflight,
+        &mut out, obsv_on, &lat_name,
+    );
     out.puts = shard.puts;
     out.gets = shard.gets;
     out.hits = shard.hits;
@@ -297,8 +445,65 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
     out
 }
 
+/// One shard's live state inside a wall-clock worker.
+struct WallSlot {
+    id: usize,
+    shard: Shard,
+    inflight: BinaryHeap<Reverse<u64>>,
+    out: ShardOutcome,
+    batch: Vec<Op>,
+    /// Wall deadline (ns since run start) for the waiting batch.
+    deadline: u64,
+}
+
+/// Executes one closed batch on a wall-clock shard, starting now.
+fn wall_dispatch(
+    model: Model,
+    slot: &mut WallSlot,
+    start: Instant,
+    recs: &mut Vec<(f64, f64, f64, f64)>,
+    obsv_on: bool,
+    lat_name: &str,
+) {
+    if slot.batch.is_empty() {
+        return;
+    }
+    slot.out.batches += 1;
+    let grouped = slot.batch.len() > 1;
+    if grouped {
+        slot.shard.dev.begin_group(start.elapsed().as_nanos() as f64);
+    }
+    recs.clear();
+    for op in slot.batch.iter() {
+        let cpu_start = start.elapsed().as_nanos() as f64;
+        slot.shard.dev.begin_op(cpu_start);
+        slot.shard.execute(op);
+        let cpu_done = start.elapsed().as_nanos() as f64;
+        let op_durable = slot.shard.dev.end_op(cpu_done);
+        if !buffered(model) {
+            // Unbuffered front end: the worker stalls until durability.
+            while (start.elapsed().as_nanos() as f64) < op_durable {
+                std::hint::spin_loop();
+            }
+        }
+        recs.push((op.at_ns as f64, cpu_start, cpu_done, op_durable));
+    }
+    let group_done = if grouped {
+        slot.shard.dev.end_group(start.elapsed().as_nanos() as f64)
+    } else {
+        recs[0].3
+    };
+    // Buffered models never spin: the worker runs ahead and the modeled
+    // group close lands on the response path as completion time.
+    for &(t, cpu_start, cpu_done, op_durable) in recs.iter() {
+        let complete = if buffered(model) && grouped { group_done.max(cpu_done) } else { op_durable };
+        slot.out.observe(t, cpu_start, cpu_done, complete, obsv_on, lat_name);
+        slot.inflight.push(Reverse(complete.ceil() as u64));
+    }
+    slot.batch.clear();
+}
+
 /// Runs one worker's shard set against the wall clock.
-#[allow(clippy::too_many_arguments)]
 fn wall_worker(
     cfg: &ServeConfig,
     model: Model,
@@ -306,42 +511,32 @@ fn wall_worker(
     my_shards: &[usize],
     start: Instant,
 ) -> Vec<(usize, ShardOutcome)> {
-    let mut shards: Vec<(usize, Shard, BinaryHeap<Reverse<u64>>, ShardOutcome)> = my_shards
+    let batch_cap = cfg.batch.max(1);
+    let mut slots: Vec<WallSlot> = my_shards
         .iter()
-        .map(|&id| {
-            let shard = Shard::new(
+        .map(|&id| WallSlot {
+            id,
+            shard: Shard::new(
                 cfg.kind,
                 model,
                 cfg.device(),
                 cfg.expected_keys_per_shard(),
                 cfg.expected_puts_per_shard(),
-            );
-            let out = ShardOutcome {
-                offered: 0,
-                completed: 0,
-                shed: 0,
-                puts: 0,
-                gets: 0,
-                hits: 0,
-                latency: Histogram::default(),
-                stall: Histogram::default(),
-                queue_wait: Histogram::default(),
-                device: DeviceStats::default(),
-                makespan_ns: 0.0,
-                validation: Ok(()),
-            };
-            (id, shard, BinaryHeap::new(), out)
+            ),
+            inflight: BinaryHeap::new(),
+            out: ShardOutcome::empty(),
+            batch: Vec::with_capacity(batch_cap),
+            deadline: 0,
         })
         .collect();
+    let mut recs: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(batch_cap);
     let obsv_on = obsv::enabled();
     let lat_name = format!("serve.latency_ns.{}", model.name());
     for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
         let owner = shard_of(op.key, cfg.shards);
-        let Some(slot) = shards.iter_mut().find(|(id, ..)| *id == owner) else {
+        if !slots.iter().any(|s| s.id == owner) {
             continue;
-        };
-        let (_, shard, inflight, out) = slot;
-        out.offered += 1;
+        }
         // Pace the open loop: wait for the arrival instant (sleep for the
         // bulk, spin the last stretch), but never fall behind silently —
         // if we're late the request just sees the lag as latency.
@@ -358,50 +553,54 @@ fn wall_worker(
             }
         }
         let now = start.elapsed().as_nanos() as u64;
-        while let Some(&Reverse(c)) = inflight.peek() {
+        // Any shard whose waiting batch expired dispatches before this
+        // arrival is handled — the wall analogue of the virtual-time
+        // deadline close.
+        for slot in slots.iter_mut() {
+            if !slot.batch.is_empty() && now > slot.deadline {
+                wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
+            }
+        }
+        let slot = slots.iter_mut().find(|s| s.id == owner).expect("owner slot exists");
+        slot.out.offered += 1;
+        while let Some(&Reverse(c)) = slot.inflight.peek() {
             if c <= now {
-                inflight.pop();
+                slot.inflight.pop();
             } else {
                 break;
             }
         }
-        if inflight.len() >= cfg.qdepth {
-            out.shed += 1;
+        if slot.inflight.len() + slot.batch.len() >= cfg.qdepth {
+            slot.out.shed += 1;
             continue;
         }
-        shard.dev.begin_op(now as f64);
-        shard.execute(&op);
-        let cpu_done = start.elapsed().as_nanos() as f64;
-        let complete = shard.dev.end_op(cpu_done);
-        if !buffered(model) {
-            // Unbuffered front end: the worker stalls until durability.
-            while (start.elapsed().as_nanos() as f64) < complete {
-                std::hint::spin_loop();
+        if slot.batch.is_empty() {
+            slot.deadline = now + cfg.batch_wait_ns as u64;
+        }
+        slot.batch.push(op);
+        if slot.batch.len() >= batch_cap {
+            if batch_cap > 1 {
+                slot.out.batches_full += 1;
             }
+            wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
         }
-        let lat = (complete - op.at_ns as f64).max(0.0).round() as u64;
-        out.latency.observe(lat);
-        out.stall.observe((complete - cpu_done).max(0.0).round() as u64);
-        out.queue_wait.observe(now.saturating_sub(op.at_ns));
-        if obsv_on {
-            obsv::observe(&lat_name, lat);
-        }
-        inflight.push(Reverse(complete.ceil() as u64));
-        out.completed += 1;
-        out.makespan_ns = out.makespan_ns.max(complete);
+    }
+    // End of stream: trailing partial batches dispatch immediately.
+    for slot in slots.iter_mut() {
+        wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
     }
     if obsv_on {
         obsv::flush();
     }
-    shards
+    slots
         .into_iter()
-        .map(|(id, shard, _, mut out)| {
-            out.puts = shard.puts;
-            out.gets = shard.gets;
-            out.hits = shard.hits;
-            out.device = shard.dev.stats();
-            out.validation = shard.validate();
-            (id, out)
+        .map(|mut slot| {
+            slot.out.puts = slot.shard.puts;
+            slot.out.gets = slot.shard.gets;
+            slot.out.hits = slot.shard.hits;
+            slot.out.device = slot.shard.dev.stats();
+            slot.out.validation = slot.shard.validate();
+            (slot.id, slot.out)
         })
         .collect()
 }
@@ -420,6 +619,8 @@ fn merge(model: Model, outcomes: Vec<ShardOutcome>, wall: Option<f64>) -> Result
         stall: Histogram::default(),
         queue_wait: Histogram::default(),
         device: DeviceStats::default(),
+        batches: 0,
+        batches_full: 0,
         makespan_ns: 0.0,
         wall_seconds: wall,
         hottest_shard: (0, 0),
@@ -436,6 +637,8 @@ fn merge(model: Model, outcomes: Vec<ShardOutcome>, wall: Option<f64>) -> Result
         r.stall.merge(&o.stall);
         r.queue_wait.merge(&o.queue_wait);
         r.device.merge(&o.device);
+        r.batches += o.batches;
+        r.batches_full += o.batches_full;
         r.makespan_ns = r.makespan_ns.max(o.makespan_ns);
         if o.offered > r.hottest_shard.1 {
             r.hottest_shard = (i, o.offered);
@@ -522,7 +725,7 @@ pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta:
     out.push_str("{\n  \"schema\": \"psim_serve_v1\",\n");
     out.push_str(&format!("  \"meta\": {meta},\n"));
     out.push_str(&format!(
-        "  \"config\": {{\"structure\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"keys\": {}, \"ops\": {}, \"rate_ops_per_sec\": {:.0}, \"zipf_theta\": {:.2}, \"get_ratio\": {:.2}, \"qdepth\": {}, \"cpu_ns\": {:.0}, \"banks\": {}, \"write_latency_ns\": {:.0}, \"interleave_bytes\": {}, \"seed\": {}}},\n",
+        "  \"config\": {{\"structure\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"keys\": {}, \"ops\": {}, \"rate_ops_per_sec\": {:.0}, \"zipf_theta\": {:.2}, \"get_ratio\": {:.2}, \"qdepth\": {}, \"batch\": {}, \"batch_wait_ns\": {:.0}, \"cpu_ns\": {:.0}, \"banks\": {}, \"write_latency_ns\": {:.0}, \"interleave_bytes\": {}, \"seed\": {}}},\n",
         cfg.kind.name(),
         mode.name(),
         cfg.shards,
@@ -532,6 +735,8 @@ pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta:
         cfg.theta,
         cfg.get_ratio,
         cfg.qdepth,
+        cfg.batch,
+        cfg.batch_wait_ns,
         cfg.cpu_ns,
         cfg.banks,
         cfg.write_latency_ns,
@@ -553,7 +758,7 @@ pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta:
                 .map(|w| format!(", \"wall_seconds\": {w:.3}"))
                 .unwrap_or_default();
             format!(
-                "    {{\"model\": \"{}\", \"offered\": {}, \"completed\": {}, \"shed\": {}, \"puts\": {}, \"gets\": {}, \"hits\": {}, \"throughput_ops_per_sec\": {:.0}, \"makespan_ms\": {:.3}{wall},\n     \"latency_ns\": {},\n     \"persist_stall_ns\": {},\n     \"queue_wait_ns\": {},\n     \"device\": {{\"stores\": {}, \"device_writes\": {}, \"absorbed\": {}, \"bank_conflicts\": {}, \"bank_wait_ms\": {:.3}, \"wear_blocks\": {}, \"wear_max_block\": {}, \"wear_hotspot\": {:.2}}},\n     \"hottest_shard\": {{\"shard\": {}, \"offered\": {}}}}}",
+                "    {{\"model\": \"{}\", \"offered\": {}, \"completed\": {}, \"shed\": {}, \"puts\": {}, \"gets\": {}, \"hits\": {}, \"throughput_ops_per_sec\": {:.0}, \"makespan_ms\": {:.3}{wall},\n     \"latency_ns\": {},\n     \"persist_stall_ns\": {},\n     \"queue_wait_ns\": {},\n     \"batch\": {{\"dispatched\": {}, \"full\": {}, \"mean_fill\": {:.2}}},\n     \"device\": {{\"stores\": {}, \"device_writes\": {}, \"absorbed\": {}, \"bank_conflicts\": {}, \"bank_wait_ms\": {:.3}, \"wear_blocks\": {}, \"wear_max_block\": {}, \"wear_hotspot\": {:.2}}},\n     \"hottest_shard\": {{\"shard\": {}, \"offered\": {}}}}}",
                 r.model,
                 r.offered,
                 r.completed,
@@ -566,6 +771,9 @@ pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta:
                 hist_json(&r.latency),
                 hist_json(&r.stall),
                 hist_json(&r.queue_wait),
+                r.batches,
+                r.batches_full,
+                r.mean_batch_fill(),
                 d.stores,
                 d.device_writes,
                 d.absorbed(),
@@ -588,7 +796,7 @@ pub fn render_json(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport], meta:
 pub fn render_table(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "serve [{}]: {} over {} shards, {} keys, {} ops @ {:.0} ops/s (zipf {:.2}, get {:.2}), qdepth {}, {} banks x {:.0} ns\n",
+        "serve [{}]: {} over {} shards, {} keys, {} ops @ {:.0} ops/s (zipf {:.2}, get {:.2}), qdepth {}, batch {} ({:.0} ns wait), {} banks x {:.0} ns\n",
         mode.name(),
         cfg.kind.name(),
         cfg.shards,
@@ -598,16 +806,18 @@ pub fn render_table(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport]) -> S
         cfg.theta,
         cfg.get_ratio,
         cfg.qdepth,
+        cfg.batch,
+        cfg.batch_wait_ns,
         cfg.banks,
         cfg.write_latency_ns
     ));
     out.push_str(&format!(
-        "{:<11} {:>9} {:>9} {:>7} {:>10} {:>9} {:>9} {:>9} {:>10} {:>9} {:>9}\n",
-        "model", "offered", "completed", "shed", "ops/s", "p50-ns", "p99-ns", "p999-ns", "stall-p99", "writes", "absorbed"
+        "{:<11} {:>9} {:>9} {:>7} {:>10} {:>9} {:>9} {:>9} {:>10} {:>6} {:>9} {:>9}\n",
+        "model", "offered", "completed", "shed", "ops/s", "p50-ns", "p99-ns", "p999-ns", "stall-p99", "fill", "writes", "absorbed"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:<11} {:>9} {:>9} {:>7} {:>10.0} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>9} {:>9}\n",
+            "{:<11} {:>9} {:>9} {:>7} {:>10.0} {:>9.0} {:>9.0} {:>9.0} {:>10.0} {:>6.2} {:>9} {:>9}\n",
             r.model.to_string(),
             r.offered,
             r.completed,
@@ -617,6 +827,7 @@ pub fn render_table(cfg: &ServeConfig, mode: Mode, reports: &[ModelReport]) -> S
             r.latency.quantile(0.99),
             r.latency.quantile(0.999),
             r.stall.quantile(0.99),
+            r.mean_batch_fill(),
             r.device.device_writes,
             r.device.absorbed()
         ));

@@ -33,9 +33,11 @@
 pub mod device;
 pub mod gen;
 pub mod harness;
+pub mod knee;
 pub mod shard;
 
 pub use device::{buffered, DeviceStats, ShardDevice};
 pub use gen::{shard_of, Op, OpKind, OpStream, Zipfian};
 pub use harness::{run_model, run_models, ModelReport, Mode, ServeConfig};
+pub use knee::{find_knee, find_knees, KneeConfig, KneeLimit, KneeResult};
 pub use shard::{Shard, StoreKind};

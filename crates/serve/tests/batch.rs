@@ -1,0 +1,186 @@
+//! Group-persist batching properties: determinism with batching on,
+//! recovery across batch boundaries, strict-model schedule transparency,
+//! and the throughput/tail effects batching exists for.
+
+use nvram::DeviceConfig;
+use persist_mem::CACHE_LINE_BYTES;
+use persist_mem::MemAddr;
+use persistency::Model;
+use serve::harness::{render_json, run_model, run_models, Mode, ServeConfig};
+use serve::{ShardDevice, StoreKind};
+
+fn smoke(batch: usize) -> ServeConfig {
+    ServeConfig {
+        keys: 20_000,
+        ops: 30_000,
+        rate_ops_per_sec: 2_000_000.0,
+        shards: 8,
+        batch,
+        ..ServeConfig::new(StoreKind::Kv)
+    }
+}
+
+#[test]
+fn batched_virtual_report_is_byte_identical_across_worker_counts() {
+    let cfg = smoke(32);
+    let mut renders = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let reports = run_models(&cfg, &Model::ALL, Mode::Virtual, workers).unwrap();
+        renders.push(render_json(&cfg, Mode::Virtual, &reports, "{}"));
+    }
+    assert_eq!(renders[0], renders[1], "1 vs 2 workers diverged with batch 32");
+    assert_eq!(renders[0], renders[2], "1 vs 8 workers diverged with batch 32");
+}
+
+#[test]
+fn every_shard_recovers_across_batch_size_sweep() {
+    // run_model re-runs recovery on every shard's image after the run and
+    // errors on any mismatch, so an Ok here IS the recovery validation —
+    // at every batch size, including ones that leave partial trailing
+    // batches (3, 7) and deadline-closed batches.
+    for kind in [StoreKind::Kv, StoreKind::Queue, StoreKind::Txn] {
+        for batch in [1usize, 2, 3, 7, 32] {
+            let cfg = ServeConfig {
+                keys: 2_000,
+                ops: 4_000,
+                rate_ops_per_sec: 1_000_000.0,
+                shards: 4,
+                batch,
+                ..ServeConfig::new(kind)
+            };
+            for model in Model::ALL {
+                let r = run_model(&cfg, model, Mode::Virtual, 2)
+                    .unwrap_or_else(|e| panic!("{kind:?}/{model}/batch={batch}: {e}"));
+                assert_eq!(r.offered, cfg.ops, "{kind:?}/{model}/batch={batch}");
+                assert_eq!(
+                    r.offered,
+                    r.completed + r.shed,
+                    "{kind:?}/{model}/batch={batch}: op vanished"
+                );
+                assert!(r.batches <= r.completed.max(1));
+                assert!(r.batches_full <= r.batches);
+                if batch == 1 {
+                    assert_eq!(r.batches, r.completed, "unbatched: one group per request");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batching_never_reorders_persists_the_strict_models_forbid() {
+    // Differential property at the device layer: replay a pseudo-random
+    // operation mix (stores over a small hot line set, flushes, fences)
+    // with and without group-persist brackets. Under the strict models the
+    // serviced-line schedule must be identical — batching is not allowed
+    // to reorder or coalesce store-granular persists.
+    for model in [Model::Strict, Model::StrictRmo] {
+        for seed in 0..8u64 {
+            let ops: Vec<Vec<u64>> = {
+                let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                let mut next = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                (0..16)
+                    .map(|_| (0..1 + next() % 4).map(|_| next() % 8).collect())
+                    .collect()
+            };
+            let run = |grouped: bool| {
+                let mut d = ShardDevice::new(
+                    DeviceConfig::new(4, 100.0).with_interleave(64),
+                    model,
+                );
+                d.record_schedule(true);
+                let mut now = 0.0f64;
+                for (i, lines) in ops.iter().enumerate() {
+                    if grouped && i % 4 == 0 {
+                        if i > 0 {
+                            now = d.end_group(now);
+                        }
+                        d.begin_group(now);
+                    }
+                    d.begin_op(now);
+                    for &line in lines {
+                        d.store(MemAddr::persistent(line * CACHE_LINE_BYTES), 8);
+                        d.flush(MemAddr::persistent(line * CACHE_LINE_BYTES), 8);
+                    }
+                    d.fence();
+                    now = d.end_op(now);
+                }
+                if grouped {
+                    d.end_group(now);
+                }
+                (d.schedule_log().to_vec(), d.stats().device_writes)
+            };
+            let (plain, plain_writes) = run(false);
+            let (grouped, grouped_writes) = run(true);
+            assert_eq!(plain, grouped, "{model}/seed {seed}: schedule reordered");
+            assert_eq!(plain_writes, grouped_writes, "{model}/seed {seed}: write count changed");
+        }
+    }
+}
+
+#[test]
+fn batching_coalesces_and_relieves_relaxed_models_under_overload() {
+    // Drive the kv store past the unbatched epoch family's service rate.
+    let cfg = |batch: usize| ServeConfig {
+        keys: 10_000,
+        ops: 40_000,
+        rate_ops_per_sec: 8_000_000.0,
+        shards: 4,
+        batch,
+        ..ServeConfig::new(StoreKind::Kv)
+    };
+    for model in [Model::Epoch, Model::Bpfs, Model::Strand] {
+        let un = run_model(&cfg(1), model, Mode::Virtual, 2).unwrap();
+        let b = run_model(&cfg(32), model, Mode::Virtual, 2).unwrap();
+        // Batching never hurts a buffered model's carried load; for epoch
+        // — whose per-op fences the group barrier amortizes — it must
+        // strictly relieve the overload (bpfs/strand may already carry
+        // everything unbatched).
+        assert!(
+            b.completed >= un.completed,
+            "{model}: batch 32 completed {} < unbatched {}",
+            b.completed,
+            un.completed
+        );
+        assert!(
+            b.shed <= un.shed,
+            "{model}: batch 32 shed {} > unbatched {}",
+            b.shed,
+            un.shed
+        );
+        if model == Model::Epoch {
+            assert!(
+                b.completed > un.completed && b.shed < un.shed,
+                "epoch: batching must strictly relieve overload ({} vs {} completed)",
+                b.completed,
+                un.completed
+            );
+        }
+        assert!(
+            b.device.absorbed() >= un.device.absorbed(),
+            "{model}: batching lost coalescing"
+        );
+        assert!(b.mean_batch_fill() > 1.5, "{model}: batches barely filled");
+    }
+    // Strict gains nothing from grouping: its persists stay store-granular
+    // (identical write counts), so the strict-vs-relaxed gap widens.
+    let un = run_model(&cfg(1), Model::Strict, Mode::Virtual, 2).unwrap();
+    let b = run_model(&cfg(32), Model::Strict, Mode::Virtual, 2).unwrap();
+    assert_eq!(b.device.absorbed(), 0, "strict must not coalesce under batching");
+    let gap = |s: &serve::ModelReport, e: &serve::ModelReport| {
+        s.latency.quantile(0.99) - e.latency.quantile(0.99)
+    };
+    let e_un = run_model(&cfg(1), Model::Epoch, Mode::Virtual, 2).unwrap();
+    let e_b = run_model(&cfg(32), Model::Epoch, Mode::Virtual, 2).unwrap();
+    assert!(
+        gap(&b, &e_b) >= gap(&un, &e_un),
+        "batching should widen the strict-vs-epoch p99 gap: batched {} vs unbatched {}",
+        gap(&b, &e_b),
+        gap(&un, &e_un)
+    );
+}

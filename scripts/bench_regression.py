@@ -37,6 +37,15 @@ SERIES = [
     ("crash_fuzz.injections_per_sec.kv", "inj/s"),
     ("crash_fuzz.injections_per_sec.txn", "inj/s"),
     ("serve.sim_ops_per_sec", "ops/s"),
+    # Saturation knees (deterministic virtual-time rates): a drop means a
+    # model got slower at carrying load — e.g. group-persist batching lost
+    # its coalescing, or a relaxed model started serializing.
+    ("serve.knee.rate_ops_per_sec.strict", "ops/s"),
+    ("serve.knee.rate_ops_per_sec.epoch", "ops/s"),
+    ("serve.knee.rate_ops_per_sec.strand", "ops/s"),
+    # Batch absorption: requests per dispatched persist group at overload.
+    ("serve.batched.mean_fill.epoch", "reqs"),
+    ("serve.batched.mean_fill.strand", "reqs"),
 ]
 
 # Latency series to gate (lower is better). These come from the serve
@@ -47,6 +56,10 @@ LOWER_IS_BETTER = [
     ("serve.p99_ns.strict", "ns"),
     ("serve.p99_ns.epoch", "ns"),
     ("serve.p99_ns.strand", "ns"),
+    # Batched tails at the shared overload rate: batching exists to keep
+    # these low for the buffered models.
+    ("serve.batched.p99_ns.epoch", "ns"),
+    ("serve.batched.p99_ns.strand", "ns"),
 ]
 
 
