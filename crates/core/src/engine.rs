@@ -20,7 +20,7 @@
 
 use crate::domain::{Domain, EventRef, WriteRec};
 use crate::{AnalysisConfig, Model};
-use mem_trace::{EventSource, Op};
+use mem_trace::{Event, EventSource, Op, SLAB_EVENTS};
 use persist_mem::FxHashMap;
 use std::collections::hash_map::Entry;
 use std::io;
@@ -88,7 +88,7 @@ impl<D: Domain> Scratch<D> {
 
     /// Clears analysis state while keeping allocated capacity for the next
     /// run.
-    fn reset(&mut self, dom: &D, thread_count: usize) {
+    pub(crate) fn reset(&mut self, dom: &D, thread_count: usize) {
         self.blocks.clear();
         self.last_persist.clear();
         self.threads.truncate(thread_count);
@@ -107,9 +107,35 @@ impl<D: Domain> Scratch<D> {
     }
 }
 
+/// Mutable per-run bookkeeping shared by [`run_with_source`] and the
+/// incremental block-push path ([`push_events`]).
+#[derive(Debug, Default)]
+pub(crate) struct RunState {
+    pub(crate) stats: EngineStats,
+    next_index: usize,
+}
+
+impl RunState {
+    /// Emits the end-of-run observability counters (aggregate-only: totals
+    /// are a function of the trace and config, never of scheduling, so the
+    /// merged snapshot stays deterministic).
+    pub(crate) fn finish_obsv(&self) {
+        if obsv::enabled() {
+            obsv::counter_add("engine.runs", 1);
+            obsv::counter_add("engine.events", self.stats.events as u64);
+            obsv::counter_add("engine.persists", self.stats.persist_ops as u64);
+            obsv::counter_add("engine.coalesced", self.stats.coalesced as u64);
+            obsv::counter_add("engine.barriers", self.stats.barriers as u64);
+            obsv::observe("engine.events_per_run", self.stats.events as u64);
+        }
+    }
+}
+
 /// Runs the propagation over a streaming event `source` — one forward
 /// pass, so arbitrarily large serialized traces analyze in constant
-/// memory (beyond the block tables the analysis itself needs).
+/// memory (beyond the block tables the analysis itself needs). Events are
+/// pulled in slabs ([`EventSource::fill_slab`]) and pushed through the
+/// monomorphized block loop of [`push_events`].
 ///
 /// # Errors
 ///
@@ -121,19 +147,47 @@ pub(crate) fn run_with_source<D: Domain, E: EventSource>(
     dom: &mut D,
     scratch: &mut Scratch<D>,
 ) -> io::Result<EngineStats> {
+    let nthreads = source.thread_count() as usize;
+    scratch.reset(dom, nthreads);
+    let mut state = RunState::default();
+    let mut slab = Vec::new();
+    loop {
+        slab.clear();
+        if source.fill_slab(&mut slab, SLAB_EVENTS)? == 0 {
+            break;
+        }
+        push_events(config, nthreads, dom, scratch, &mut state, &slab)?;
+    }
+    state.finish_obsv();
+    Ok(state.stats)
+}
+
+/// Propagates one decoded event block through the engine. The caller owns
+/// chunking and decode; this is the single monomorphized hot loop every
+/// consumer (streaming, chunked-parallel, incremental) funnels through.
+/// `scratch` must have been [`Scratch::reset`] for this run.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if an event names a thread `>= nthreads`.
+pub(crate) fn push_events<D: Domain>(
+    config: &AnalysisConfig,
+    nthreads: usize,
+    dom: &mut D,
+    scratch: &mut Scratch<D>,
+    state: &mut RunState,
+    events: &[Event],
+) -> io::Result<()> {
     let model = config.model;
     let tracking = config.tracking;
     let atomic = config.atomic_persist;
 
-    let nthreads = source.thread_count() as usize;
-    scratch.reset(dom, nthreads);
     let Scratch { threads, blocks, last_persist, input, out } = scratch;
-    let mut stats = EngineStats::default();
+    let stats = &mut state.stats;
 
-    let mut next_index = 0usize;
-    while let Some(e) = source.next_event()? {
-        let index = next_index;
-        next_index += 1;
+    for &e in events {
+        let index = state.next_index;
+        state.next_index += 1;
         stats.events += 1;
         let t = e.thread.index();
         if t >= nthreads {
@@ -304,17 +358,7 @@ pub(crate) fn run_with_source<D: Domain, E: EventSource>(
             Op::PAlloc { .. } | Op::PFree { .. } => {}
         }
     }
-    if obsv::enabled() {
-        // Aggregate-only: totals are a function of the trace and config,
-        // never of scheduling, so the merged snapshot stays deterministic.
-        obsv::counter_add("engine.runs", 1);
-        obsv::counter_add("engine.events", stats.events as u64);
-        obsv::counter_add("engine.persists", stats.persist_ops as u64);
-        obsv::counter_add("engine.coalesced", stats.coalesced as u64);
-        obsv::counter_add("engine.barriers", stats.barriers as u64);
-        obsv::observe("engine.events_per_run", stats.events as u64);
-    }
-    Ok(stats)
+    Ok(())
 }
 
 /// Folds a thread's epoch-local constraint into its per-thread prefix at a

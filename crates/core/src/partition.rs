@@ -8,14 +8,19 @@
 //!
 //! - **Decode-parallel feed** ([`with_source`], [`analyze_full`]): the
 //!   trace's segment index (see `docs/mptrace2.md`) lets independent
-//!   decoders start mid-file; workers decode chunks concurrently into a
-//!   bounded in-order window, and each consumer walks the reassembled
-//!   stream — the *exact* sequential event sequence — so the engines
-//!   themselves need no change and no stitching argument.
+//!   decoders start mid-file; workers claim chunks in order but decode
+//!   them *out of order* into a bounded pool of recycled event slabs,
+//!   and each consumer walks the reassembled in-order stream — the
+//!   *exact* sequential event sequence — so the engines themselves need
+//!   no change and no stitching argument. A slow chunk never stalls the
+//!   workers behind it: back-pressure comes only from the slab pool.
 //! - **Model-parallel analysis** ([`analyze_full`]): the per-model engine
 //!   passes are independent given the same stream; each model consumes the
-//!   shared decoded chunks on its own thread. Chunks are decoded once,
-//!   reference-counted, and dropped as the slowest consumer passes them.
+//!   shared decoded chunks block-at-a-time on its own thread. Chunks are
+//!   decoded once, reference-counted, and recycled as the slowest
+//!   consumer passes them. With one worker the same sharing holds on one
+//!   thread: each chunk is decoded once and pushed through the profile
+//!   stitcher and every model's incremental engine run.
 //! - **Chunk-parallel profiling** ([`profile_chunked`]): trace profiling
 //!   *does* compose across arbitrary cuts. Per-chunk partial profiles
 //!   carry a per-thread open-epoch frontier (persists not yet closed by a
@@ -70,11 +75,9 @@ impl ChunkFeed for MappedTrace {
     }
 
     fn decode_chunk(&self, i: usize, out: &mut Vec<Event>) -> io::Result<()> {
-        let mut src = self.segment_source(i);
-        while let Some(e) = src.next_event()? {
-            out.push(e);
-        }
-        Ok(())
+        // One batched fill: the slab decoder reserves the exact segment
+        // length and decodes it in a single tight loop.
+        self.segment_source(i).fill_slab(out, usize::MAX).map(|_| ())
     }
 }
 
@@ -154,11 +157,33 @@ impl<F: ChunkFeed + ?Sized> EventSource for SeqSource<'_, F> {
             self.next_chunk += 1;
         }
     }
+
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        let mut n = 0;
+        while n < max {
+            if self.idx < self.buf.len() {
+                let take = (self.buf.len() - self.idx).min(max - n);
+                out.extend_from_slice(&self.buf[self.idx..self.idx + take]);
+                self.idx += take;
+                n += take;
+                continue;
+            }
+            if self.next_chunk >= self.feed.chunk_count() {
+                break;
+            }
+            self.buf.clear();
+            self.idx = 0;
+            self.feed.decode_chunk(self.next_chunk, &mut self.buf)?;
+            self.next_chunk += 1;
+        }
+        Ok(n)
+    }
 }
 
-/// How many chunks ahead of the slowest consumer decode may run. Bounds
-/// resident decoded memory to `(workers + WINDOW_SLACK) · chunk_events`
-/// events however unbalanced the consumers are.
+/// Extra slab slots beyond the structural minimum (one per decode worker
+/// in flight plus one held per consumer). Bounds resident decoded memory
+/// to `(workers + consumers + WINDOW_SLACK) · chunk_events` events
+/// however unbalanced the consumers are.
 const WINDOW_SLACK: usize = 2;
 
 /// One decoded chunk awaiting consumption.
@@ -179,13 +204,28 @@ struct FeedState {
     active: usize,
     /// Sticky first decode failure; consumers convert it back to an error.
     error: Option<(io::ErrorKind, String)>,
+    /// Recycled event slabs awaiting reuse by a decode worker.
+    free: Vec<Vec<Event>>,
+    /// Slabs in flight, ready, or held by consumers — everything claimed
+    /// from the pool and not yet back in `free`.
+    outstanding: usize,
 }
 
-/// Shared decode window between decode workers and in-order consumers.
+/// Shared decode pool between out-of-order decode workers and in-order
+/// consumers.
+///
+/// Workers claim chunk indices sequentially but decode and publish them
+/// in whatever order they finish; the only back-pressure is the slab pool
+/// (`pool_cap`), not the consumers' positions. Deadlock-freedom: claims
+/// are sequential, so whenever the slowest consumer needs chunk `f`,
+/// every ready chunk below `f` has already been taken by all active
+/// consumers (they advanced past it) and recycled — hence at most
+/// `consumers` held slabs and `workers` in-flight slabs are outstanding,
+/// and `pool_cap > workers + consumers` leaves a slab free to claim `f`.
 struct Feed<'a, F: ?Sized> {
     feed: &'a F,
     n_chunks: usize,
-    window: usize,
+    pool_cap: usize,
     state: Mutex<FeedState>,
     cond: Condvar,
 }
@@ -195,52 +235,58 @@ impl<'a, F: ChunkFeed + ?Sized> Feed<'a, F> {
         Feed {
             feed,
             n_chunks: feed.chunk_count(),
-            window: workers + WINDOW_SLACK,
+            pool_cap: workers + consumers + WINDOW_SLACK,
             state: Mutex::new(FeedState {
                 next_claim: 0,
                 ready: BTreeMap::new(),
                 consumer_pos: vec![0; consumers],
                 active: consumers,
                 error: None,
+                free: Vec::new(),
+                outstanding: 0,
             }),
             cond: Condvar::new(),
         }
     }
 
-    /// Decode-worker loop: claim the next chunk inside the window, decode
-    /// it, publish it. Exits when chunks run out, every consumer finished,
-    /// or a decode failed.
+    /// Decode-worker loop: claim the next chunk and a recycled slab,
+    /// decode out-of-order, publish. Exits when chunks run out, every
+    /// consumer finished, or a decode failed.
     fn decode_loop(&self) {
         loop {
-            let i = {
+            let (i, mut buf) = {
                 let mut st = self.state.lock().unwrap();
                 loop {
                     if st.error.is_some() || st.next_claim >= self.n_chunks || st.active == 0 {
                         return;
                     }
-                    let floor =
-                        st.consumer_pos.iter().copied().filter(|&p| p != usize::MAX).min();
-                    let floor = match floor {
-                        Some(f) => f,
-                        None => return,
-                    };
-                    if st.next_claim < floor + self.window {
+                    if st.outstanding < self.pool_cap {
                         let i = st.next_claim;
                         st.next_claim += 1;
-                        break i;
+                        st.outstanding += 1;
+                        let buf = st.free.pop().unwrap_or_default();
+                        break (i, buf);
                     }
                     st = self.cond.wait(st).unwrap();
                 }
             };
-            let mut buf = Vec::new();
+            buf.clear();
             let res = self.feed.decode_chunk(i, &mut buf);
             let mut st = self.state.lock().unwrap();
             match res {
-                Ok(()) => {
+                Ok(()) if st.active > 0 => {
                     let remaining = st.active;
                     st.ready.insert(i, Slot { data: Arc::new(buf), remaining });
                 }
-                Err(e) => st.error = Some((e.kind(), e.to_string())),
+                Ok(()) => {
+                    // Every consumer left while we decoded; recycle.
+                    st.outstanding -= 1;
+                    st.free.push(buf);
+                }
+                Err(e) => {
+                    st.error = Some((e.kind(), e.to_string()));
+                    st.outstanding -= 1;
+                }
             }
             drop(st);
             self.cond.notify_all();
@@ -252,7 +298,8 @@ impl<'a, F: ChunkFeed + ?Sized> Feed<'a, F> {
 /// cursors whose `Drop` cannot name the [`ChunkFeed`] bound.
 impl<F: ?Sized> Feed<'_, F> {
     /// Blocks until chunk `i` is decoded and takes consumer `me`'s
-    /// reference to it.
+    /// reference to it. The last taker receives the slot's own `Arc`, so
+    /// the final [`release`](Feed::release) can reclaim the slab.
     fn take(&self, me: usize, i: usize) -> io::Result<Arc<Vec<Event>>> {
         let mut st = self.state.lock().unwrap();
         loop {
@@ -260,11 +307,12 @@ impl<F: ?Sized> Feed<'_, F> {
                 return Err(io::Error::new(*kind, msg.clone()));
             }
             if let Some(slot) = st.ready.get_mut(&i) {
-                let data = Arc::clone(&slot.data);
                 slot.remaining -= 1;
-                if slot.remaining == 0 {
-                    st.ready.remove(&i);
-                }
+                let data = if slot.remaining == 0 {
+                    st.ready.remove(&i).expect("slot present").data
+                } else {
+                    Arc::clone(&slot.data)
+                };
                 st.consumer_pos[me] = i + 1;
                 drop(st);
                 self.cond.notify_all();
@@ -274,8 +322,24 @@ impl<F: ?Sized> Feed<'_, F> {
         }
     }
 
+    /// Returns a consumer's chunk reference. The last holder recycles the
+    /// slab into the free pool, unblocking decode workers.
+    ///
+    /// The `try_unwrap` runs under the state lock: concurrent releases of
+    /// the same chunk are serialized, so exactly one of them observes a
+    /// unique `Arc` and performs the recycle.
+    fn release(&self, data: Arc<Vec<Event>>) {
+        let mut st = self.state.lock().unwrap();
+        if let Ok(buf) = Arc::try_unwrap(data) {
+            st.outstanding -= 1;
+            st.free.push(buf);
+            drop(st);
+            self.cond.notify_all();
+        }
+    }
+
     /// Marks consumer `me` finished, releasing its claim on every chunk it
-    /// has not consumed so the window keeps draining for the others.
+    /// has not consumed so the pool keeps draining for the others.
     fn finish(&self, me: usize) {
         let mut st = self.state.lock().unwrap();
         let pos = st.consumer_pos[me];
@@ -290,7 +354,11 @@ impl<F: ?Sized> Feed<'_, F> {
             let slot = st.ready.get_mut(&i).unwrap();
             slot.remaining -= 1;
             if slot.remaining == 0 {
-                st.ready.remove(&i);
+                let slot = st.ready.remove(&i).expect("slot present");
+                if let Ok(buf) = Arc::try_unwrap(slot.data) {
+                    st.outstanding -= 1;
+                    st.free.push(buf);
+                }
             }
         }
         drop(st);
@@ -298,30 +366,42 @@ impl<F: ?Sized> Feed<'_, F> {
     }
 }
 
-/// In-order consumer cursor over a [`Feed`]; unregisters itself on drop so
-/// early exits (errors) cannot stall the other consumers.
+/// In-order consumer cursor over a [`Feed`]; holds at most one chunk at a
+/// time, recycling it into the slab pool before taking the next, and
+/// unregisters itself on drop so early exits (errors) cannot stall the
+/// other consumers.
 struct Cursor<'a, 'f, F: ?Sized> {
     fd: &'a Feed<'f, F>,
     me: usize,
     next_chunk: usize,
-    cur: Arc<Vec<Event>>,
+    cur: Option<Arc<Vec<Event>>>,
     idx: usize,
 }
 
-impl<'a, 'f, F: ChunkFeed + ?Sized> Cursor<'a, 'f, F> {
+impl<'a, 'f, F: ?Sized> Cursor<'a, 'f, F> {
     fn new(fd: &'a Feed<'f, F>, me: usize) -> Self {
-        Cursor { fd, me, next_chunk: 0, cur: Arc::new(Vec::new()), idx: 0 }
+        Cursor { fd, me, next_chunk: 0, cur: None, idx: 0 }
     }
 
-    /// Pulls the next whole chunk, or `None` at end of stream.
-    fn next_chunk_data(&mut self) -> io::Result<Option<Arc<Vec<Event>>>> {
+    /// Returns the held chunk (if any) to the slab pool.
+    fn release_cur(&mut self) {
+        if let Some(data) = self.cur.take() {
+            self.fd.release(data);
+        }
+    }
+
+    /// Releases the held chunk and pulls the next one as a borrowed slice,
+    /// or `None` at end of stream.
+    fn next_chunk_ref(&mut self) -> io::Result<Option<&[Event]>> {
+        self.release_cur();
         if self.next_chunk >= self.fd.n_chunks {
             self.fd.finish(self.me);
             return Ok(None);
         }
         let data = self.fd.take(self.me, self.next_chunk)?;
         self.next_chunk += 1;
-        Ok(Some(data))
+        self.idx = 0;
+        Ok(Some(self.cur.insert(data).as_slice()))
     }
 }
 
@@ -332,24 +412,42 @@ impl<F: ChunkFeed + ?Sized> EventSource for Cursor<'_, '_, F> {
 
     fn next_event(&mut self) -> io::Result<Option<Event>> {
         loop {
-            if self.idx < self.cur.len() {
-                let e = self.cur[self.idx];
-                self.idx += 1;
-                return Ok(Some(e));
-            }
-            match self.next_chunk_data()? {
-                Some(data) => {
-                    self.cur = data;
-                    self.idx = 0;
+            if let Some(cur) = &self.cur {
+                if self.idx < cur.len() {
+                    let e = cur[self.idx];
+                    self.idx += 1;
+                    return Ok(Some(e));
                 }
-                None => return Ok(None),
+            }
+            if self.next_chunk_ref()?.is_none() {
+                return Ok(None);
             }
         }
+    }
+
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        let mut n = 0;
+        while n < max {
+            if let Some(cur) = &self.cur {
+                if self.idx < cur.len() {
+                    let take = (cur.len() - self.idx).min(max - n);
+                    out.extend_from_slice(&cur[self.idx..self.idx + take]);
+                    self.idx += take;
+                    n += take;
+                    continue;
+                }
+            }
+            if self.next_chunk_ref()?.is_none() {
+                break;
+            }
+        }
+        Ok(n)
     }
 }
 
 impl<F: ?Sized> Drop for Cursor<'_, '_, F> {
     fn drop(&mut self) {
+        self.release_cur();
         self.fd.finish(self.me);
     }
 }
@@ -576,14 +674,30 @@ where
     F: ChunkFeed + ?Sized,
 {
     let n_chunks = feed.chunk_count();
+    let nthreads = feed.thread_count();
     if workers <= 1 || n_chunks <= 1 {
-        let profile = TraceProfile::of_source(SeqSource::new(feed))?;
-        let mut reports = Vec::with_capacity(configs.len());
-        let mut analyzer = Analyzer::new();
-        for config in configs {
-            reports.push(analyzer.analyze_source(SeqSource::new(feed), config)?);
+        // Shared-decode sequential pass: each chunk is decoded *once* and
+        // pushed through the profile stitcher and every config's
+        // incremental engine run, instead of re-decoding the trace once
+        // per consumer.
+        let mut analyzers: Vec<Analyzer> = configs.iter().map(|_| Analyzer::new()).collect();
+        let mut runs: Vec<_> = analyzers
+            .iter_mut()
+            .zip(configs)
+            .map(|(a, config)| a.begin(config, nthreads))
+            .collect();
+        let mut stitcher = ProfileStitcher::new(nthreads);
+        let mut buf = Vec::new();
+        for i in 0..n_chunks {
+            buf.clear();
+            feed.decode_chunk(i, &mut buf)?;
+            stitcher.push(&ChunkProfile::of_events(&buf, nthreads)?);
+            for run in &mut runs {
+                run.push_events(&buf)?;
+            }
         }
-        return Ok((profile, reports));
+        let reports = runs.into_iter().map(|run| run.finish()).collect();
+        return Ok((stitcher.finish(), reports));
     }
     let fd = Feed::new(feed, configs.len() + 1, workers);
     std::thread::scope(|s| {
@@ -596,30 +710,38 @@ where
             .map(|(k, config)| {
                 let fd = &fd;
                 s.spawn(move || {
-                    let cursor = Cursor::new(fd, k + 1);
-                    Analyzer::new().analyze_source(cursor, config)
+                    let mut analyzer = Analyzer::new();
+                    let mut run = analyzer.begin(config, nthreads);
+                    let mut cursor = Cursor::new(fd, k + 1);
+                    loop {
+                        match cursor.next_chunk_ref() {
+                            Ok(Some(events)) => {
+                                if let Err(e) = run.push_events(events) {
+                                    break Err(e);
+                                }
+                            }
+                            Ok(None) => break Ok(run.finish()),
+                            Err(e) => break Err(e),
+                        }
+                    }
                 })
             })
             .collect();
         // The profile consumer runs here: per-chunk partials + stitch, the
-        // same math as `profile_chunked`, fed from the shared window.
+        // same math as `profile_chunked`, fed from the shared pool.
         let profile = {
             let mut cursor = Cursor::new(&fd, 0);
-            let mut stitcher = ProfileStitcher::new(feed.thread_count());
-            let res = loop {
-                match cursor.next_chunk_data() {
-                    Ok(Some(data)) => {
-                        match ChunkProfile::of_events(&data, feed.thread_count()) {
-                            Ok(part) => stitcher.push(&part),
-                            Err(e) => break Err(e),
-                        }
-                    }
+            let mut stitcher = ProfileStitcher::new(nthreads);
+            loop {
+                match cursor.next_chunk_ref() {
+                    Ok(Some(events)) => match ChunkProfile::of_events(events, nthreads) {
+                        Ok(part) => stitcher.push(&part),
+                        Err(e) => break Err(e),
+                    },
                     Ok(None) => break Ok(stitcher.finish()),
                     Err(e) => break Err(e),
                 }
-            };
-            drop(cursor);
-            res
+            }
         };
         let mut reports = Vec::with_capacity(configs.len());
         let mut first_err: Option<io::Error> = None;

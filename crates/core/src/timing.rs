@@ -185,6 +185,75 @@ impl Analyzer {
             stats,
         })
     }
+
+    /// Begins an incremental analysis: the caller pushes decoded event
+    /// blocks through [`TimingRun::push_events`] in stream order and
+    /// [`TimingRun::finish`]es for the report. Equivalent to
+    /// [`analyze_source`](Analyzer::analyze_source) over the concatenated
+    /// blocks — this is how the chunked-parallel pipeline feeds each model
+    /// engine without a per-consumer decode pass.
+    pub(crate) fn begin(&mut self, config: &AnalysisConfig, nthreads: u32) -> TimingRun<'_> {
+        let dom = LevelDomain::default();
+        self.scratch.reset(&dom, nthreads as usize);
+        TimingRun {
+            config: *config,
+            nthreads: nthreads as usize,
+            dom,
+            scratch: &mut self.scratch,
+            state: engine::RunState::default(),
+        }
+    }
+}
+
+/// An in-progress incremental critical-path analysis (see
+/// [`Analyzer::begin`]).
+pub(crate) struct TimingRun<'s> {
+    config: AnalysisConfig,
+    nthreads: usize,
+    dom: LevelDomain,
+    scratch: &'s mut engine::Scratch<LevelDomain>,
+    state: engine::RunState,
+}
+
+impl TimingRun<'_> {
+    /// Propagates one block of events (in stream order).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if an event names a thread outside the run's
+    /// thread count.
+    pub(crate) fn push_events(&mut self, events: &[mem_trace::Event]) -> io::Result<()> {
+        engine::push_events(
+            &self.config,
+            self.nthreads,
+            &mut self.dom,
+            self.scratch,
+            &mut self.state,
+            events,
+        )
+    }
+
+    /// Completes the run, emitting the same observability counters as
+    /// [`Analyzer::analyze_source`].
+    pub(crate) fn finish(self) -> TimingReport {
+        self.state.finish_obsv();
+        if obsv::enabled() {
+            obsv::counter_add("timing.analyses", 1);
+            obsv::observe("timing.critical_path", self.dom.max_level);
+        }
+        TimingReport {
+            config: self.config,
+            critical_path: self.dom.max_level,
+            persist_nodes: self.dom.nodes,
+            stats: self.state.stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for TimingRun<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingRun").finish_non_exhaustive()
+    }
 }
 
 impl Default for Analyzer {

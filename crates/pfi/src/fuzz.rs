@@ -24,10 +24,10 @@
 
 use crate::inject::{CrashCase, FragmentSet};
 use crate::replay::Replayer;
-use crate::shadow::{Recording, ShadowPmem};
+use crate::shadow::{Recording, ShadowEvent, ShadowPmem};
 use crate::targets::{CwlTarget, FuzzTarget, KvTarget, TwoLockTarget, TxnTarget};
 use mem_trace::rng::SmallRng;
-use persist_mem::{AtomicPersistSize, MemoryImage, PmemBackend};
+use persist_mem::{AtomicPersistSize, MemoryImage};
 use persistency::Model;
 use pstruct::txn::RecoveryStep;
 
@@ -177,18 +177,22 @@ fn injection_seed(cell_seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Replays a recovery script through a reusable shadow rebased over
-/// `base`, giving the event stream a second crash can be injected into.
-/// The shadow keeps its allocations across calls.
-fn record_recovery(shadow: &mut ShadowPmem, base: &MemoryImage, script: &[RecoveryStep]) {
-    shadow.reset_with(base);
+/// Expands a recovery script into the event stream a second crash can be
+/// injected into — exactly what replaying it through a [`ShadowPmem`]
+/// rebased over the crash image would record (store + flush per write,
+/// fence per barrier), computed without the shadow: the recovery script
+/// never loads, so the stream is a pure function of the script and the
+/// two full-image clones a shadow rebase pays per leg are dead weight.
+/// `out` is reused across calls.
+fn recovery_events(script: &[RecoveryStep], out: &mut Vec<ShadowEvent>) {
+    out.clear();
     for step in script {
         match step {
             RecoveryStep::Write { addr, value } => {
-                shadow.store_u64(*addr, *value);
-                shadow.flush(*addr, 8);
+                out.push(ShadowEvent::Store { addr: *addr, data: value.to_le_bytes().to_vec() });
+                out.push(ShadowEvent::Flush { addr: *addr, len: 8 });
             }
-            RecoveryStep::Barrier => shadow.fence(),
+            RecoveryStep::Barrier => out.push(ShadowEvent::Fence),
         }
     }
 }
@@ -335,11 +339,11 @@ impl CellPlan {
         let points = self.rec.events.len() as u64 + 1;
         let mut replayer = Replayer::new(&self.frags, &self.rec, model);
         // Multi-crash-leg scratch, reused across the whole shard
-        // (clone_from / reset_with keep the allocations): the pre-recovery
-        // image, the recovery re-recording shadow, and the second-crash
-        // materialization target.
+        // (clone_from keeps the allocations): the pre-recovery image, the
+        // recovery event stream, and the second-crash materialization
+        // target.
         let mut scratch = MemoryImage::new();
-        let mut leg_shadow = ShadowPmem::new();
+        let mut leg_events: Vec<ShadowEvent> = Vec::new();
         let mut leg_image = MemoryImage::new();
 
         let mut failures = 0u64;
@@ -380,11 +384,11 @@ impl CellPlan {
                 Ok((true, script)) => {
                     recovery_crashes += 1;
                     let img = &scratch;
-                    record_recovery(&mut leg_shadow, img, &script);
+                    recovery_events(&script, &mut leg_events);
                     let frags2 =
-                        FragmentSet::from_events(leg_shadow.events(), AtomicPersistSize::default());
+                        FragmentSet::from_events(&leg_events, AtomicPersistSize::default());
                     let (completed, begun) = replayer.ops_at(case.point);
-                    let p2 = rng.gen_below(leg_shadow.len() as u64 + 1) as usize;
+                    let p2 = rng.gen_below(leg_events.len() as u64 + 1) as usize;
                     let case2 = frags2.draw(model, p2, &mut rng, cfg.torn);
                     let img2 = &mut leg_image;
                     if eval_second(target, &frags2, img, img2, model, &case2, completed, begun)

@@ -145,14 +145,181 @@ fn addr_in(space: usize, offset: u64) -> MemAddr {
     }
 }
 
-fn rdelta_off(r: &mut impl Read, st: &mut ThreadCodec, space: usize) -> io::Result<u64> {
-    let delta = unzigzag(rvar(r)?) as u64;
+/// Worst-case encoded size of one v2 event: a tag byte plus at most five
+/// varints, each of which a decoder consumes at most 10 bytes of before
+/// accepting or rejecting it. A decode attempt with this many bytes
+/// available can never run off the end of a buffer spuriously — the
+/// refill invariant of the buffered reader's batched path.
+const MAX_EVENT_BYTES: usize = 1 + 5 * 10;
+
+#[inline]
+fn eof_err() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated event")
+}
+
+/// One byte from `data[*pos..]`. With `CHECKED = false` the bounds check
+/// is elided — sound only under the module-internal contract of
+/// [`decode_event2_unchecked`]: at least [`MAX_EVENT_BYTES`] readable at
+/// the event's start, and one event decode consumes at most that many
+/// bytes on every path, including rejections.
+#[inline(always)]
+fn sbyte<const CHECKED: bool>(data: &[u8], pos: &mut usize) -> io::Result<u8> {
+    if CHECKED {
+        match data.get(*pos) {
+            Some(&b) => {
+                *pos += 1;
+                Ok(b)
+            }
+            None => Err(eof_err()),
+        }
+    } else {
+        debug_assert!(*pos < data.len());
+        // SAFETY: the decode_event2_unchecked contract bounds this read.
+        let b = unsafe { *data.get_unchecked(*pos) };
+        *pos += 1;
+        Ok(b)
+    }
+}
+
+/// Slice-based varint decode — same acceptance rules as [`rvar`], but
+/// branch-lean: the one-byte case (the overwhelming majority of capture
+/// fields) is a single bounds check and compare.
+#[inline(always)]
+fn svar<const CHECKED: bool>(data: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let first = if CHECKED {
+        data.get(*pos).copied()
+    } else {
+        debug_assert!(*pos < data.len());
+        // SAFETY: the decode_event2_unchecked contract bounds this read.
+        Some(unsafe { *data.get_unchecked(*pos) })
+    };
+    if let Some(b) = first {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(b as u64);
+        }
+    }
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = sbyte::<CHECKED>(data, pos)?;
+        if shift == 63 && (b & 0x7F) > 1 {
+            return Err(bad("varint overflows 64 bits"));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(bad("varint too long"));
+        }
+    }
+}
+
+#[inline(always)]
+fn sdelta_off<const CHECKED: bool>(
+    data: &[u8],
+    pos: &mut usize,
+    st: &mut ThreadCodec,
+    space: usize,
+) -> io::Result<u64> {
+    let delta = unzigzag(svar::<CHECKED>(data, pos)?) as u64;
     let offset = st.last_off[space].wrapping_add(delta);
     if offset >= 1 << 63 {
         return Err(bad("access offset exceeds the 63-bit address space"));
     }
     st.last_off[space] = offset;
     Ok(offset)
+}
+
+/// Decodes one v2 event from `data[*pos..]`, advancing `pos` — the shared
+/// core of every MPTRACE2 decode path (buffered reader, mmap'd segments,
+/// slab fills). Field order, validation, and accept/reject decisions are
+/// exactly those of the original per-event reader; running out of bytes
+/// surfaces as `UnexpectedEof` like a failing `read_exact`.
+#[inline]
+fn decode_event2(data: &[u8], pos: &mut usize, st: &mut Vec<ThreadCodec>) -> io::Result<Event> {
+    decode_event2_impl::<true>(data, pos, st)
+}
+
+/// [`decode_event2`] with per-byte bounds checks elided — the slab hot
+/// loops call this for every event that starts at least
+/// [`MAX_EVENT_BYTES`] from the end of the buffer. Identical field
+/// order, validation, and accept/reject decisions: within the window no
+/// read can spuriously hit the buffer end, so the checked path would
+/// never have returned `UnexpectedEof` either.
+///
+/// # Safety
+///
+/// `data.len() - *pos >= MAX_EVENT_BYTES` must hold. One decode then
+/// stays in bounds on every path: an event is 1 tag byte plus at most 5
+/// varints, and a varint read consumes at most 10 bytes before
+/// accepting or rejecting — `MAX_EVENT_BYTES` is exactly that worst
+/// case.
+#[inline]
+unsafe fn decode_event2_unchecked(
+    data: &[u8],
+    pos: &mut usize,
+    st: &mut Vec<ThreadCodec>,
+) -> io::Result<Event> {
+    debug_assert!(data.len() - *pos >= MAX_EVENT_BYTES);
+    decode_event2_impl::<false>(data, pos, st)
+}
+
+#[inline(always)]
+fn decode_event2_impl<const CHECKED: bool>(
+    data: &[u8],
+    pos: &mut usize,
+    st: &mut Vec<ThreadCodec>,
+) -> io::Result<Event> {
+    let tag_byte = sbyte::<CHECKED>(data, pos)?;
+    let (t, hi) = (tag_byte & 0xF, tag_byte >> 4);
+    let thread = svar::<CHECKED>(data, pos)?;
+    if thread >= MAX_THREADS {
+        return Err(bad("thread id out of range"));
+    }
+    let ts = codec_state(st, thread as usize);
+    let po = ts.prev_po + 1 + unzigzag(svar::<CHECKED>(data, pos)?);
+    if !(0..=u32::MAX as i64).contains(&po) {
+        return Err(bad("program-order index out of range"));
+    }
+    let (space, len) = ((hi >> 3) as usize, (hi & 0x7) + 1);
+    let op = match t {
+        tag::LOAD => {
+            let addr = addr_in(space, sdelta_off::<CHECKED>(data, pos, ts, space)?);
+            Op::Load { addr, len, value: svar::<CHECKED>(data, pos)? }
+        }
+        tag::STORE => {
+            let addr = addr_in(space, sdelta_off::<CHECKED>(data, pos, ts, space)?);
+            Op::Store { addr, len, value: svar::<CHECKED>(data, pos)? }
+        }
+        tag::RMW => {
+            let addr = addr_in(space, sdelta_off::<CHECKED>(data, pos, ts, space)?);
+            Op::Rmw {
+                addr,
+                len,
+                old: svar::<CHECKED>(data, pos)?,
+                new: svar::<CHECKED>(data, pos)?,
+            }
+        }
+        tag::PBARRIER if hi == 0 => Op::PersistBarrier,
+        tag::MBARRIER if hi == 0 => Op::MemBarrier,
+        tag::NEWSTRAND if hi == 0 => Op::NewStrand,
+        tag::PSYNC if hi == 0 => Op::PersistSync,
+        tag::PALLOC if hi & 0x7 == 0 => {
+            let addr = addr_in(space, sdelta_off::<CHECKED>(data, pos, ts, space)?);
+            Op::PAlloc { addr, size: svar::<CHECKED>(data, pos)? }
+        }
+        tag::PFREE if hi & 0x7 == 0 => {
+            Op::PFree { addr: addr_in(space, sdelta_off::<CHECKED>(data, pos, ts, space)?) }
+        }
+        tag::WBEGIN if hi == 0 => Op::WorkBegin { id: svar::<CHECKED>(data, pos)? },
+        tag::WEND if hi == 0 => Op::WorkEnd { id: svar::<CHECKED>(data, pos)? },
+        _ => return Err(bad("unknown operation tag")),
+    };
+    ts.prev_po = po;
+    Ok(Event { thread: ThreadId(thread as u32), po: po as u32, op })
 }
 
 /// Writes `trace` to `w` in the MPTRACE1 format (fixed-width records).
@@ -463,11 +630,20 @@ pub enum TraceFormat {
     V2,
 }
 
+/// Refill target of the buffered v2 decoder's carry buffer: large reads
+/// amortize the `Read` trait to a few crossings per megabyte, and events
+/// decode from a flat in-memory block between them.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Streaming trace decoder: an [`EventSource`] over a serialized trace.
 ///
-/// Auto-detects MPTRACE1 vs MPTRACE2 from the magic and decodes one event
-/// per [`EventSource::next_event`] call, so analyses can ingest traces of
-/// any size in constant memory. Wrap files in a `BufReader`.
+/// Auto-detects MPTRACE1 vs MPTRACE2 from the magic. MPTRACE2 decodes
+/// through an internal carry buffer in large blocks — both `next_event`
+/// and the batched [`EventSource::fill_slab`] path — so analyses can
+/// ingest traces of any size in constant memory at block-decode speed.
+/// The reader may consume bytes past the last event (up to one refill
+/// block); it does not hand the underlying reader back. MPTRACE1 still
+/// decodes one record per call; wrap v1 files in a `BufReader`.
 pub struct TraceReader<R> {
     r: R,
     format: TraceFormat,
@@ -475,6 +651,11 @@ pub struct TraceReader<R> {
     remaining: u64,
     /// v2 per-thread predictor state (unused for v1).
     st: Vec<ThreadCodec>,
+    /// v2 carry buffer: undecoded bytes live in `buf[pos..]`.
+    buf: Vec<u8>,
+    pos: usize,
+    /// The underlying reader returned 0; `buf[pos..]` is all that's left.
+    eof: bool,
 }
 
 impl<R> std::fmt::Debug for TraceReader<R> {
@@ -513,7 +694,16 @@ impl<R: Read> TraceReader<R> {
         if remaining > (1 << 32) {
             return Err(bad("unreasonable event count"));
         }
-        Ok(TraceReader { r, format, nthreads: nthreads as u32, remaining, st: Vec::new() })
+        Ok(TraceReader {
+            r,
+            format,
+            nthreads: nthreads as u32,
+            remaining,
+            st: Vec::new(),
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        })
     }
 
     /// The detected on-disk format.
@@ -521,11 +711,30 @@ impl<R: Read> TraceReader<R> {
         self.format
     }
 
-    /// Resumes v2 decoding mid-stream: `r` must be positioned at a
-    /// segment's first event byte and `st` must be the predictor snapshot
-    /// the segment index recorded for that point ([`parse_index`]).
-    pub(crate) fn resume_v2(r: R, nthreads: u32, remaining: u64, st: Vec<ThreadCodec>) -> Self {
-        TraceReader { r, format: TraceFormat::V2, nthreads, remaining, st }
+    /// Compacts the carry buffer and reads until a full [`READ_CHUNK`] is
+    /// buffered or the reader hits end of stream.
+    fn refill(&mut self) -> io::Result<()> {
+        self.buf.copy_within(self.pos.., 0);
+        self.buf.truncate(self.buf.len() - self.pos);
+        self.pos = 0;
+        while self.buf.len() < READ_CHUNK {
+            let old = self.buf.len();
+            self.buf.resize(READ_CHUNK, 0);
+            match self.r.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(k) => self.buf.truncate(old + k),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => self.buf.truncate(old),
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn next_v1(&mut self) -> io::Result<Event> {
@@ -567,53 +776,12 @@ impl<R: Read> TraceReader<R> {
         Ok(Event { thread, po, op })
     }
 
+    #[inline]
     fn next_v2(&mut self) -> io::Result<Event> {
-        let tag_byte = r8(&mut self.r)?;
-        let (t, hi) = (tag_byte & 0xF, tag_byte >> 4);
-        let thread = rvar(&mut self.r)?;
-        if thread >= MAX_THREADS {
-            return Err(bad("thread id out of range"));
+        if self.buf.len() - self.pos < MAX_EVENT_BYTES && !self.eof {
+            self.refill()?;
         }
-        let ts = codec_state(&mut self.st, thread as usize);
-        let po = ts.prev_po + 1 + unzigzag(rvar(&mut self.r)?);
-        if !(0..=u32::MAX as i64).contains(&po) {
-            return Err(bad("program-order index out of range"));
-        }
-        // Re-borrow around each read of `self.r` by splitting state:
-        let (space, len) = ((hi >> 3) as usize, (hi & 0x7) + 1);
-        let take_addr = |r: &mut R, st: &mut Vec<ThreadCodec>| -> io::Result<MemAddr> {
-            let off = rdelta_off(r, codec_state(st, thread as usize), space)?;
-            Ok(addr_in(space, off))
-        };
-        let op = match t {
-            tag::LOAD => {
-                let addr = take_addr(&mut self.r, &mut self.st)?;
-                Op::Load { addr, len, value: rvar(&mut self.r)? }
-            }
-            tag::STORE => {
-                let addr = take_addr(&mut self.r, &mut self.st)?;
-                Op::Store { addr, len, value: rvar(&mut self.r)? }
-            }
-            tag::RMW => {
-                let addr = take_addr(&mut self.r, &mut self.st)?;
-                Op::Rmw { addr, len, old: rvar(&mut self.r)?, new: rvar(&mut self.r)? }
-            }
-            tag::PBARRIER if hi == 0 => Op::PersistBarrier,
-            tag::MBARRIER if hi == 0 => Op::MemBarrier,
-            tag::NEWSTRAND if hi == 0 => Op::NewStrand,
-            tag::PSYNC if hi == 0 => Op::PersistSync,
-            tag::PALLOC if hi & 0x7 == 0 => {
-                let addr = take_addr(&mut self.r, &mut self.st)?;
-                Op::PAlloc { addr, size: rvar(&mut self.r)? }
-            }
-            tag::PFREE if hi & 0x7 == 0 => Op::PFree { addr: take_addr(&mut self.r, &mut self.st)? },
-            tag::WBEGIN if hi == 0 => Op::WorkBegin { id: rvar(&mut self.r)? },
-            tag::WEND if hi == 0 => Op::WorkEnd { id: rvar(&mut self.r)? },
-            _ => return Err(bad("unknown operation tag")),
-        };
-        let ts = codec_state(&mut self.st, thread as usize);
-        ts.prev_po = po;
-        Ok(Event { thread: ThreadId(thread as u32), po: po as u32, op })
+        decode_event2(&self.buf, &mut self.pos, &mut self.st)
     }
 }
 
@@ -632,6 +800,113 @@ impl<R: Read> EventSource for TraceReader<R> {
         };
         self.remaining -= 1;
         Ok(Some(e))
+    }
+
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        if self.format == TraceFormat::V1 {
+            let mut n = 0;
+            while n < max {
+                match self.next_event()? {
+                    Some(e) => {
+                        out.push(e);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            return Ok(n);
+        }
+        let total = self.remaining.min(max as u64) as usize;
+        out.reserve(total);
+        for n in 0..total {
+            if self.buf.len() - self.pos < MAX_EVENT_BYTES && !self.eof {
+                self.refill()?;
+            }
+            let res = if self.buf.len() - self.pos >= MAX_EVENT_BYTES {
+                // SAFETY: a full event window is buffered.
+                unsafe { decode_event2_unchecked(&self.buf, &mut self.pos, &mut self.st) }
+            } else {
+                decode_event2(&self.buf, &mut self.pos, &mut self.st)
+            };
+            match res {
+                Ok(e) => out.push(e),
+                Err(e) => {
+                    self.remaining -= n as u64;
+                    return Err(e);
+                }
+            }
+        }
+        self.remaining -= total as u64;
+        Ok(total)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Zero-copy batched MPTRACE2 decoder over an in-memory event body —
+/// what [`crate::mmapio::MappedTrace`] segments hand out. Implements
+/// [`EventSource`]; the [`fill_slab`](EventSource::fill_slab) override
+/// decodes a whole block in one tight loop with no per-event dispatch.
+#[derive(Debug)]
+pub struct SlabDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    nthreads: u32,
+    remaining: u64,
+    st: Vec<ThreadCodec>,
+}
+
+impl<'a> SlabDecoder<'a> {
+    /// Resumes v2 decoding mid-body: `data` must start at an event
+    /// boundary and `st` must be the predictor snapshot for that point
+    /// (empty for the first event of a capture).
+    pub(crate) fn resume(
+        data: &'a [u8],
+        nthreads: u32,
+        remaining: u64,
+        st: Vec<ThreadCodec>,
+    ) -> Self {
+        SlabDecoder { data, pos: 0, nthreads, remaining, st }
+    }
+}
+
+impl EventSource for SlabDecoder<'_> {
+    fn thread_count(&self) -> u32 {
+        self.nthreads
+    }
+
+    #[inline]
+    fn next_event(&mut self) -> io::Result<Option<Event>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let e = decode_event2(self.data, &mut self.pos, &mut self.st)?;
+        self.remaining -= 1;
+        Ok(Some(e))
+    }
+
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        let total = self.remaining.min(max as u64) as usize;
+        out.reserve(total);
+        for n in 0..total {
+            let res = if self.data.len() - self.pos >= MAX_EVENT_BYTES {
+                // SAFETY: a full event window remains in the slice.
+                unsafe { decode_event2_unchecked(self.data, &mut self.pos, &mut self.st) }
+            } else {
+                decode_event2(self.data, &mut self.pos, &mut self.st)
+            };
+            match res {
+                Ok(e) => out.push(e),
+                Err(e) => {
+                    self.remaining -= n as u64;
+                    return Err(e);
+                }
+            }
+        }
+        self.remaining -= total as u64;
+        Ok(total)
     }
 
     fn size_hint(&self) -> Option<u64> {
@@ -821,7 +1096,7 @@ mod tests {
         // sequential event slices.
         for (i, entry) in index.iter().enumerate() {
             let end_event = index.get(i + 1).map_or(count, |n| n.start_event);
-            let mut r = TraceReader::resume_v2(
+            let mut r = SlabDecoder::resume(
                 &buf[entry.byte_offset as usize..],
                 t.thread_count(),
                 end_event - entry.start_event,

@@ -10,7 +10,7 @@
 //! codec predictor snapshot at that point, letting independent decoders
 //! start mid-file and still produce exactly the sequential event stream.
 //!
-//! Safety/corruption posture: all decoding runs through [`TraceReader`]
+//! Safety/corruption posture: all decoding runs through [`SlabDecoder`]
 //! over plain byte slices, so every read is bounds-checked and malformed
 //! bytes surface as `InvalidData` errors — never panics, never reads out
 //! of the mapping. A damaged or missing footer only costs seekability
@@ -23,9 +23,9 @@
 //!
 //! MPTRACE1 files are not mappable (no index; the fixed-width format
 //! predates sharded capture) — callers fall back to the streaming
-//! [`TraceReader`] for those.
+//! [`crate::io::TraceReader`] for those.
 
-use crate::io::{parse_header2, parse_index, SegmentEntry, TraceReader};
+use crate::io::{parse_header2, parse_index, SegmentEntry, SlabDecoder};
 use std::fs::File;
 use std::io;
 use std::path::Path;
@@ -231,7 +231,7 @@ impl MappedTrace {
     ///
     /// Panics if `i >= segment_count()` (see
     /// [`segment_bounds`](MappedTrace::segment_bounds)).
-    pub fn segment_source(&self, i: usize) -> TraceReader<&[u8]> {
+    pub fn segment_source(&self, i: usize) -> SlabDecoder<'_> {
         match &self.index {
             None => {
                 assert_eq!(i, 0, "unindexed trace has one segment");
@@ -240,15 +240,15 @@ impl MappedTrace {
             Some(idx) => {
                 let (_, n) = self.segment_bounds(i);
                 let data = &self.backing.bytes()[idx[i].byte_offset as usize..];
-                TraceReader::resume_v2(data, self.nthreads, n, idx[i].codecs.clone())
+                SlabDecoder::resume(data, self.nthreads, n, idx[i].codecs.clone())
             }
         }
     }
 
     /// A streaming decoder over the whole event stream.
-    pub fn source(&self) -> TraceReader<&[u8]> {
+    pub fn source(&self) -> SlabDecoder<'_> {
         let data = &self.backing.bytes()[self.body_start..];
-        TraceReader::resume_v2(data, self.nthreads, self.count, Vec::new())
+        SlabDecoder::resume(data, self.nthreads, self.count, Vec::new())
     }
 
     /// Decodes the whole file into a materialized [`crate::Trace`].

@@ -53,7 +53,28 @@ impl TraceProfile {
     pub fn of_source<E: EventSource>(mut source: E) -> io::Result<Self> {
         let mut p = TraceProfile::default();
         let mut open_epoch = vec![0u64; source.thread_count() as usize];
-        while let Some(e) = source.next_event()? {
+        let mut slab = Vec::new();
+        loop {
+            slab.clear();
+            if source.fill_slab(&mut slab, crate::SLAB_EVENTS)? == 0 {
+                break;
+            }
+            p.scan_block(&slab, &mut open_epoch)?;
+        }
+        // Close trailing epochs.
+        for open in open_epoch {
+            if open > 0 {
+                p.epoch_sizes.push(open);
+            }
+        }
+        Ok(p)
+    }
+
+    /// Accumulates one decoded block into the profile — the monomorphized
+    /// inner loop of [`of_source`](TraceProfile::of_source).
+    fn scan_block(&mut self, events: &[crate::Event], open_epoch: &mut [u64]) -> io::Result<()> {
+        let p = self;
+        for e in events {
             p.events += 1;
             let t = e.thread.index();
             if t >= open_epoch.len() {
@@ -90,13 +111,7 @@ impl TraceProfile {
                 open_epoch[t] += 1;
             }
         }
-        // Close trailing epochs.
-        for open in open_epoch {
-            if open > 0 {
-                p.epoch_sizes.push(open);
-            }
-        }
-        Ok(p)
+        Ok(())
     }
 
     /// Fraction of data accesses that are persists.

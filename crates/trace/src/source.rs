@@ -10,6 +10,11 @@
 use crate::{Event, Trace};
 use std::io;
 
+/// Default slab size for [`EventSource::fill_slab`] consumers: big enough
+/// to amortize per-slab dispatch to nothing, small enough that a slab of
+/// 24-byte events stays L2-resident.
+pub const SLAB_EVENTS: usize = 16 * 1024;
+
 /// A fallible stream of trace events in visibility order.
 ///
 /// `next_event` returns `Ok(None)` at end of stream. Sources backed by
@@ -27,6 +32,32 @@ pub trait EventSource {
     /// Returns decode or I/O errors from the underlying stream.
     fn next_event(&mut self) -> io::Result<Option<Event>>;
 
+    /// Appends up to `max` events to `out`, returning how many were
+    /// appended; `Ok(0)` means the stream is exhausted. Consumers that
+    /// iterate slabs instead of single events skip the per-event
+    /// `io::Result` plumbing entirely; decoding sources override this
+    /// with a batched fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode or I/O errors from the underlying stream. Events
+    /// decoded before the error are *not* appended by the default
+    /// implementation's contract: a failing call leaves `out` in an
+    /// unspecified (but valid) state and the stream unusable.
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.next_event()? {
+                Some(e) => {
+                    out.push(e);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
     /// Remaining events, if the source knows.
     fn size_hint(&self) -> Option<u64> {
         None
@@ -42,6 +73,10 @@ impl<E: EventSource + ?Sized> EventSource for &mut E {
         (**self).next_event()
     }
 
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        (**self).fill_slab(out, max)
+    }
+
     fn size_hint(&self) -> Option<u64> {
         (**self).size_hint()
     }
@@ -51,7 +86,7 @@ impl<E: EventSource + ?Sized> EventSource for &mut E {
 #[derive(Debug)]
 pub struct TraceSource<'a> {
     nthreads: u32,
-    events: std::slice::Iter<'a, Event>,
+    events: &'a [Event],
 }
 
 impl EventSource for TraceSource<'_> {
@@ -61,7 +96,21 @@ impl EventSource for TraceSource<'_> {
 
     #[inline]
     fn next_event(&mut self) -> io::Result<Option<Event>> {
-        Ok(self.events.next().copied())
+        match self.events.split_first() {
+            Some((e, rest)) => {
+                self.events = rest;
+                Ok(Some(*e))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn fill_slab(&mut self, out: &mut Vec<Event>, max: usize) -> io::Result<usize> {
+        let n = self.events.len().min(max);
+        let (head, rest) = self.events.split_at(n);
+        out.extend_from_slice(head);
+        self.events = rest;
+        Ok(n)
     }
 
     fn size_hint(&self) -> Option<u64> {
@@ -72,7 +121,7 @@ impl EventSource for TraceSource<'_> {
 impl Trace {
     /// An [`EventSource`] view of this trace (no cloning).
     pub fn source(&self) -> TraceSource<'_> {
-        TraceSource { nthreads: self.thread_count(), events: self.events().iter() }
+        TraceSource { nthreads: self.thread_count(), events: self.events() }
     }
 }
 
@@ -87,9 +136,7 @@ pub fn collect_trace<E: EventSource>(mut src: E) -> io::Result<Trace> {
     // header cannot trigger a huge allocation before decoding fails.
     let cap = src.size_hint().unwrap_or(0).min(1 << 20) as usize;
     let mut events = Vec::with_capacity(cap);
-    while let Some(e) = src.next_event()? {
-        events.push(e);
-    }
+    while src.fill_slab(&mut events, SLAB_EVENTS)? > 0 {}
     Ok(Trace::from_events(nthreads, events))
 }
 

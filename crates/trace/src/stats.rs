@@ -117,14 +117,21 @@ pub fn insert_distances_source<E: crate::EventSource>(
     // Global index of each completion, per thread last-seen.
     let mut completed: u64 = 0;
     let mut last_of: HashMap<ThreadId, u64> = HashMap::new();
-    while let Some(e) = source.next_event()? {
-        if let Op::WorkEnd { .. } = e.op {
-            if let Some(&prev) = last_of.get(&e.thread) {
-                // completions strictly between prev and this one
-                hist.add(completed - prev - 1);
+    let mut slab = Vec::new();
+    loop {
+        slab.clear();
+        if source.fill_slab(&mut slab, crate::SLAB_EVENTS)? == 0 {
+            break;
+        }
+        for e in &slab {
+            if let Op::WorkEnd { .. } = e.op {
+                if let Some(&prev) = last_of.get(&e.thread) {
+                    // completions strictly between prev and this one
+                    hist.add(completed - prev - 1);
+                }
+                last_of.insert(e.thread, completed);
+                completed += 1;
             }
-            last_of.insert(e.thread, completed);
-            completed += 1;
         }
     }
     Ok(hist)

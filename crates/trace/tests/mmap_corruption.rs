@@ -41,19 +41,41 @@ fn image(trace: &Trace, segment_events: u64) -> Vec<u8> {
     bytes
 }
 
-/// Fully drains every decode surface of a parsed image: the sequential
-/// source and each segment source. Errors are fine; panics are not.
-fn drain_all(map: &MappedTrace) -> u64 {
-    let mut decoded = 0u64;
-    let mut src = map.source();
-    while let Ok(Some(_)) = src.next_event() {
-        decoded += 1;
-    }
-    for i in 0..map.segment_count() {
-        let mut seg = map.segment_source(i);
-        while let Ok(Some(_)) = seg.next_event() {
-            decoded += 1;
+/// Drains one source through both decode paths — per-event and batched
+/// slab — and asserts they accept/reject identically: same decoded
+/// prefix, same terminal outcome. Errors are fine; panics and
+/// divergence are not. Returns the events decoded.
+fn drain_both(per_event: impl EventSource, slab: impl EventSource) -> u64 {
+    let mut src = per_event;
+    let mut events = Vec::new();
+    let outcome = loop {
+        match src.next_event() {
+            Ok(Some(e)) => events.push(e),
+            Ok(None) => break Ok(()),
+            Err(e) => break Err((e.kind(), e.to_string())),
         }
+    };
+    let mut src = slab;
+    let mut slab_events = Vec::new();
+    let slab_outcome = loop {
+        match src.fill_slab(&mut slab_events, 128) {
+            Ok(0) => break Ok(()),
+            Ok(_) => {}
+            Err(e) => break Err((e.kind(), e.to_string())),
+        }
+    };
+    assert_eq!(events, slab_events, "slab decode diverged from per-event decode");
+    assert_eq!(outcome, slab_outcome, "slab decode accepted/rejected differently");
+    events.len() as u64
+}
+
+/// Fully drains every decode surface of a parsed image: the sequential
+/// source and each segment source, each through the per-event *and* the
+/// slab path. Errors are fine; panics are not.
+fn drain_all(map: &MappedTrace) -> u64 {
+    let mut decoded = drain_both(map.source(), map.source());
+    for i in 0..map.segment_count() {
+        decoded += drain_both(map.segment_source(i), map.segment_source(i));
     }
     decoded
 }

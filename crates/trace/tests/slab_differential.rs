@@ -1,0 +1,217 @@
+//! Differential tests: batched slab decoding vs per-event decoding.
+//!
+//! The slab decoders (`EventSource::fill_slab` on `TraceReader`, the
+//! mmap `SlabDecoder`, and the in-memory `TraceSource` override) are a
+//! separate hot-loop implementation of the same MPTRACE2 rules as the
+//! per-event `next_event` path. This suite holds the two bit-equal: on
+//! randomized traces covering every tag kind, extreme ("wrapping")
+//! offset deltas, and arbitrary thread interleavings, both paths must
+//! decode the identical event sequence; and on damaged inputs
+//! (truncation at every length, bit flips) both must accept or reject
+//! exactly the same bytes with the same error, never panicking.
+
+use mem_trace::io as trace_io;
+use mem_trace::mmapio::MappedTrace;
+use mem_trace::rng::SmallRng;
+use mem_trace::{Event, EventSource, Op, ThreadId, Trace};
+use persist_mem::MemAddr;
+use std::io::ErrorKind;
+
+/// Terminal outcome of a drain: clean end or `(kind, message)`.
+type Outcome = Result<(), (ErrorKind, String)>;
+
+/// Decodes everything through `next_event`, one event at a time.
+fn drain_per_event<E: EventSource>(mut src: E) -> (Vec<Event>, Outcome) {
+    let mut out = Vec::new();
+    loop {
+        match src.next_event() {
+            Ok(Some(e)) => out.push(e),
+            Ok(None) => return (out, Ok(())),
+            Err(e) => return (out, Err((e.kind(), e.to_string()))),
+        }
+    }
+}
+
+/// Decodes everything through `fill_slab` in blocks of `max`.
+fn drain_slabs<E: EventSource>(mut src: E, max: usize) -> (Vec<Event>, Outcome) {
+    let mut out = Vec::new();
+    loop {
+        match src.fill_slab(&mut out, max) {
+            Ok(0) => return (out, Ok(())),
+            Ok(_) => {}
+            Err(e) => return (out, Err((e.kind(), e.to_string()))),
+        }
+    }
+}
+
+/// A random address exercising the delta predictor's extremes: small
+/// offsets, offsets near the top of the 63-bit space, and uniform jumps
+/// — consecutive events wrap from one end of the space to the other, so
+/// the zigzag deltas cover the largest positive and negative values.
+fn rand_addr(rng: &mut SmallRng) -> MemAddr {
+    let offset = match rng.gen_below(4) {
+        0 => rng.gen_below(1 << 12),
+        1 => (1 << 62) + rng.gen_below(1 << 12),
+        2 => ((1u64 << 63) - 1) - rng.gen_below(1 << 12),
+        _ => rng.next_u64() & ((1u64 << 63) - 1),
+    };
+    if rng.gen_below(2) == 0 {
+        MemAddr::persistent(offset)
+    } else {
+        MemAddr::volatile(offset)
+    }
+}
+
+/// One random op, uniform over every tag kind.
+fn rand_op(rng: &mut SmallRng) -> Op {
+    let len = (rng.gen_below(8) + 1) as u8;
+    let mask = u64::MAX >> (64 - 8 * len as u32);
+    match rng.gen_below(11) {
+        0 => Op::Load { addr: rand_addr(rng), len, value: rng.next_u64() & mask },
+        1 => Op::Store { addr: rand_addr(rng), len, value: rng.next_u64() & mask },
+        2 => Op::Rmw {
+            addr: rand_addr(rng),
+            len,
+            old: rng.next_u64() & mask,
+            new: rng.next_u64() & mask,
+        },
+        3 => Op::PersistBarrier,
+        4 => Op::MemBarrier,
+        5 => Op::NewStrand,
+        6 => Op::PersistSync,
+        7 => Op::PAlloc { addr: rand_addr(rng), size: rng.next_u64() },
+        8 => Op::PFree { addr: rand_addr(rng) },
+        9 => Op::WorkBegin { id: rng.next_u64() },
+        _ => Op::WorkEnd { id: rng.next_u64() },
+    }
+}
+
+/// A trace of `n` random ops interleaved across `nthreads` threads.
+fn rand_trace(rng: &mut SmallRng, nthreads: u32, n: usize) -> Trace {
+    let mut po = vec![0u32; nthreads as usize];
+    let events = (0..n)
+        .map(|_| {
+            let t = rng.gen_below(u64::from(nthreads)) as usize;
+            let e = Event { thread: ThreadId(t as u32), po: po[t], op: rand_op(rng) };
+            po[t] += 1;
+            e
+        })
+        .collect();
+    Trace::from_events(nthreads, events)
+}
+
+#[test]
+fn slab_decode_matches_per_event_on_random_traces() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_5AB5);
+    let sizes = [0usize, 1, 2, 37, 500, 3000];
+    for case in 0..24 {
+        let nthreads = 1 + (case % 5) as u32;
+        let n = sizes[case % sizes.len()];
+        let trace = rand_trace(&mut rng, nthreads, n);
+        // Unindexed, densely indexed, and default-indexed images.
+        for seg in [0u64, 64, 1 << 16] {
+            let mut bytes = Vec::new();
+            trace_io::write_trace2_segmented(&trace, &mut bytes, seg).unwrap();
+
+            // Reference: the buffered reader, one event at a time.
+            let (ref_events, ref_res) =
+                drain_per_event(trace_io::TraceReader::new(bytes.as_slice()).unwrap());
+            assert!(ref_res.is_ok());
+            assert_eq!(ref_events, trace.events(), "per-event reader is the roundtrip oracle");
+
+            // The buffered reader's batched path, at awkward block sizes.
+            for max in [1usize, 7, 4096, usize::MAX] {
+                let (ev, res) =
+                    drain_slabs(trace_io::TraceReader::new(bytes.as_slice()).unwrap(), max);
+                assert!(res.is_ok(), "case {case} seg {seg} max {max}: {res:?}");
+                assert_eq!(ev, trace.events(), "case {case} seg {seg} max {max}");
+            }
+
+            // The mmap slab decoder: whole stream, both paths.
+            let map = MappedTrace::from_bytes(bytes.clone()).unwrap();
+            let (ev, res) = drain_per_event(map.source());
+            assert!(res.is_ok());
+            assert_eq!(ev, trace.events());
+            let (ev, res) = drain_slabs(map.source(), 911);
+            assert!(res.is_ok());
+            assert_eq!(ev, trace.events());
+
+            // Per-segment slab decodes concatenate to the exact stream.
+            let mut segev = Vec::new();
+            for i in 0..map.segment_count() {
+                map.segment_source(i).fill_slab(&mut segev, usize::MAX).unwrap();
+            }
+            assert_eq!(segev, trace.events(), "case {case} seg {seg} segment concat");
+        }
+    }
+}
+
+#[test]
+fn in_memory_source_slab_override_matches() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let trace = rand_trace(&mut rng, 4, 257);
+    for max in [1usize, 13, 10_000] {
+        let (ev, res) = drain_slabs(trace.source(), max);
+        assert!(res.is_ok());
+        assert_eq!(ev, trace.events(), "max {max}");
+    }
+    let (ev, res) = drain_per_event(trace.source());
+    assert!(res.is_ok());
+    assert_eq!(ev, trace.events());
+}
+
+/// Asserts the per-event and slab paths agree on `bytes` — same decoded
+/// prefix, same terminal accept/reject — on every decode surface that
+/// accepts the image at all.
+fn assert_paths_agree(bytes: &[u8]) {
+    // Buffered reader: construction consumes the header identically.
+    let per = trace_io::TraceReader::new(bytes).map(drain_per_event);
+    let slab = trace_io::TraceReader::new(bytes).map(|r| drain_slabs(r, 256));
+    match (per, slab) {
+        (Ok((ev_p, res_p)), Ok((ev_s, res_s))) => {
+            assert_eq!(ev_p, ev_s, "buffered reader: decoded prefixes diverge");
+            assert_eq!(res_p, res_s, "buffered reader: outcomes diverge");
+        }
+        (Err(p), Err(s)) => assert_eq!(p.kind(), s.kind()),
+        (p, s) => panic!("buffered reader: one path accepted the header, the other did not: per-event {:?}, slab {:?}", p.map(|_| ()), s.map(|_| ())),
+    }
+    // Mmap surfaces, when the header and trailer parse at all.
+    if let Ok(map) = MappedTrace::from_bytes(bytes.to_vec()) {
+        let (ev_p, res_p) = drain_per_event(map.source());
+        let (ev_s, res_s) = drain_slabs(map.source(), 256);
+        assert_eq!(ev_p, ev_s, "mmap stream: decoded prefixes diverge");
+        assert_eq!(res_p, res_s, "mmap stream: outcomes diverge");
+        for i in 0..map.segment_count() {
+            let (ev_p, res_p) = drain_per_event(map.segment_source(i));
+            let (ev_s, res_s) = drain_slabs(map.segment_source(i), 256);
+            assert_eq!(ev_p, ev_s, "segment {i}: decoded prefixes diverge");
+            assert_eq!(res_p, res_s, "segment {i}: outcomes diverge");
+        }
+    }
+}
+
+#[test]
+fn truncation_accept_reject_is_identical() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let trace = rand_trace(&mut rng, 3, 220);
+    let mut bytes = Vec::new();
+    trace_io::write_trace2_segmented(&trace, &mut bytes, 64).unwrap();
+    for cut in 0..bytes.len() {
+        assert_paths_agree(&bytes[..cut]);
+    }
+}
+
+#[test]
+fn bit_flip_accept_reject_is_identical() {
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let trace = rand_trace(&mut rng, 3, 150);
+    let mut bytes = Vec::new();
+    trace_io::write_trace2_segmented(&trace, &mut bytes, 64).unwrap();
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut dam = bytes.clone();
+            dam[pos] ^= 1 << bit;
+            assert_paths_agree(&dam);
+        }
+    }
+}

@@ -26,6 +26,7 @@ SERIES = [
     ("capture.serialize.v1.read_mb_per_sec", "MB/s"),
     ("capture.serialize.v2.write_mb_per_sec", "MB/s"),
     ("capture.serialize.v2.read_mb_per_sec", "MB/s"),
+    ("analyze.decode_mb_per_sec", "MB/s"),
     ("analyze.sequential_events_per_sec", "events/s"),
     ("analyze.chunked_events_per_sec.t1", "events/s"),
     ("analyze.chunked_events_per_sec.t4", "events/s"),
@@ -60,6 +61,21 @@ LOWER_IS_BETTER = [
     # these low for the buffered models.
     ("serve.batched.p99_ns.epoch", "ns"),
     ("serve.batched.p99_ns.strand", "ns"),
+]
+
+
+# Absolute floors on ratio fields of the *current* run (not relative to
+# the baseline): these encode invariants of the pipeline itself, so the
+# usual cross-host tolerance does not apply. Each entry may be gated on
+# the current run's host core count — the 4-worker scaling floor is only
+# an honest measurement when the host actually has the cores.
+ABSOLUTE_FLOORS = [
+    # Single-worker chunked analyze shares one decode across the profile
+    # pass and every model engine, so it must not fall behind the N+1
+    # sequential streaming passes (small tolerance for timer noise).
+    ("analyze.speedup_t1_vs_sequential", 0.95, 1),
+    # With real cores to fan out over, chunked decode+analyze must scale.
+    ("analyze.speedup_t4_vs_sequential", 3.0, 4),
 ]
 
 
@@ -118,6 +134,24 @@ def main():
             flag = f"  REGRESSED >{args.max_regression:g}x"
             failed.append(path)
         print(f"{path:<45} {unit:<9} {base:>12.0f} {cur:>12.0f}  {ratio:5.2f}x{flag}")
+
+    host_cores = lookup(current, "meta.host_cores") or 1
+    for path, floor, min_cores in ABSOLUTE_FLOORS:
+        cur = lookup(current, path)
+        if cur is None:
+            print(f"{path:<45} {'x':<9} {'—':>12} {'—':>12}  SKIPPED "
+                  f"(missing in current)")
+            skipped.append(path)
+            continue
+        if host_cores < min_cores:
+            print(f"{path:<45} {'x':<9} {floor:>12.2f} {cur:>12.2f}  SKIPPED "
+                  f"(needs >={min_cores} cores, host has {host_cores:.0f})")
+            continue
+        flag = ""
+        if cur < floor:
+            flag = f"  BELOW FLOOR {floor:g}"
+            failed.append(path)
+        print(f"{path:<45} {'x':<9} {floor:>12.2f} {cur:>12.2f}  floor{flag}")
 
     if skipped:
         print(f"\nWARNING: skipped {len(skipped)} series missing from one "
