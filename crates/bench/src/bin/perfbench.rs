@@ -350,6 +350,14 @@ fn main() {
     let serve_models = [Model::Strict, Model::Epoch, Model::Strand];
     let mut serve_p99: Vec<(&str, f64)> = Vec::new();
     let mut serve_completed = 0u64;
+    // When the obsv gate is open (OBSV=1), arm the time-resolved layers
+    // too, so the disabled-vs-enabled overhead gate covers the full cost
+    // of windowed series + timeline recording, not just counters.
+    if obsv::enabled() {
+        obsv::series::set_window_ns(1_000_000);
+        obsv::tracefmt::set_recording(true);
+        obsv::tracefmt::set_sample(64);
+    }
     let serve_sec = best_of(3, || {
         serve_p99.clear();
         serve_completed = 0;
@@ -360,6 +368,16 @@ fn main() {
             serve_p99.push((m.name(), r.latency.quantile(0.99)));
         }
     });
+    if obsv::enabled() {
+        // Exercise the render paths once, then drop the time-resolved
+        // state so the remaining benches are unaffected.
+        std::hint::black_box(obsv::tracefmt::render("{}"));
+        std::hint::black_box(obsv::series::snapshot().to_json("  "));
+        obsv::tracefmt::set_recording(false);
+        obsv::series::set_window_ns(0);
+        obsv::tracefmt::reset();
+        obsv::series::reset();
+    }
     let serve_sim_ops = serve_completed as f64 / serve_sec;
 
     // --- Saturation knees and batched tails: deterministic virtual-time

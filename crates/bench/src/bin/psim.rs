@@ -28,6 +28,7 @@ use bench::fmt::num;
 use bench::profile as profcli;
 use bench::sweep::{SelfTimer, SweepRunner};
 use obsv::runmeta::RunMeta;
+use obsv::{series, tracefmt};
 use mem_trace::mmapio::MappedTrace;
 use mem_trace::{io as trace_io, SeededScheduler, Trace, TracedMem};
 use persist_mem::{AtomicPersistSize, MemAddr, TrackingGranularity};
@@ -139,6 +140,59 @@ fn config_from(args: &Args, model: Model) -> Result<AnalysisConfig, String> {
     Ok(cfg)
 }
 
+/// Arms the time-resolved observability layers from `--timeline FILE`,
+/// `--series-ns N`, `--timeline-sample N`, and `--obsv`. Any of them
+/// opens the one-atomic obsv gate; the series and trace layers stay off
+/// unless their own flag asks for them. Returns the timeline output
+/// path, if one was requested.
+fn arm_observability(args: &Args) -> Result<Option<String>, String> {
+    let timeline = args.get("--timeline").map(str::to_owned);
+    let series_ns = args.num("--series-ns", 0)?;
+    if timeline.is_some() || series_ns != 0 || args.has("--obsv") {
+        obsv::set_enabled(true);
+    }
+    if series_ns != 0 {
+        series::set_window_ns(series_ns);
+    }
+    if timeline.is_some() {
+        tracefmt::set_recording(true);
+        tracefmt::set_sample(args.num("--timeline-sample", 16)?);
+    }
+    Ok(timeline)
+}
+
+/// Writes the recorded timeline as Chrome-trace-event JSON (loadable in
+/// Perfetto / `chrome://tracing`).
+fn write_timeline(path: &str, meta: &RunMeta) -> Result<(), String> {
+    let json = tracefmt::render(&meta.to_json_object());
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Splices the windowed series (restricted to `prefix`) into a rendered
+/// report as a top-level `"series"` member, just before the closing
+/// brace. Returns the report unchanged when the series layer is off.
+fn splice_series(json: String, prefix: &str) -> String {
+    if !series::active() {
+        return json;
+    }
+    obsv::flush();
+    let block = series::snapshot().filter_prefix(prefix).to_json("  ");
+    let Some(pos) = json.rfind('}') else { return json };
+    let head = json[..pos].trim_end();
+    format!("{head},\n  \"series\": {block}\n{}", &json[pos..])
+}
+
+/// Splices the obsv counter/histogram snapshot (restricted to `prefix`)
+/// into a rendered report as a top-level `"obsv"` member.
+fn splice_obsv(json: String, prefix: &str) -> String {
+    obsv::flush();
+    let block = obsv::snapshot().filter_prefix(prefix).to_json();
+    let block = block.trim_end().replace('\n', "\n  ");
+    let Some(pos) = json.rfind('}') else { return json };
+    let head = json[..pos].trim_end();
+    format!("{head},\n  \"obsv\": {block}\n{}", &json[pos..])
+}
+
 fn cmd_capture(args: &Args) -> Result<u64, String> {
     let queue = args.get("--queue").unwrap_or("cwl");
     let threads = args.num("--threads", 1)? as u32;
@@ -241,6 +295,7 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
     // the buffered reader, one streaming pass per model. Either way the
     // output below the meta line is byte-identical for any worker count.
     let path = args.required("--trace")?;
+    let timeline = arm_observability(args)?;
     let models: Vec<Model> = match args.get("--model") {
         Some(m) => vec![parse_model(m)?],
         None => Model::ALL.to_vec(),
@@ -265,6 +320,7 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
         }
     };
     let passes = models.len() as u64;
+    let meta = RunMeta::collect(runner.workers(), runner.effective_workers(configs.len() + 1));
     if args.has("--json") {
         let mut rows = Vec::new();
         for (model, r) in models.iter().zip(&reports) {
@@ -278,16 +334,19 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
                 r.stats.barriers
             ));
         }
-        println!(
+        let json = format!(
             "{{\n  \"schema\": \"psim_analyze_v1\",\n  \"meta\": {},\n  \"trace\": {{\"events\": {}, \"persists\": {}, \"persist_barriers\": {}, \"work_items\": {}}},\n  \"models\": [\n{}\n  ]\n}}",
-            RunMeta::collect(runner.workers(), runner.effective_workers(configs.len() + 1))
-                .to_json_object(),
+            meta.to_json_object(),
             profile.events,
             profile.persists,
             profile.persist_barriers,
             profile.work_items,
             rows.join(",\n")
         );
+        println!("{}", splice_series(json, "analyze."));
+        if let Some(path) = &timeline {
+            write_timeline(path, &meta)?;
+        }
         return Ok(profile.events * (passes + 1));
     }
     println!(
@@ -315,6 +374,9 @@ fn cmd_analyze(args: &Args) -> Result<u64, String> {
             r.stats.coalesced,
             r.stats.barriers
         );
+    }
+    if let Some(path) = &timeline {
+        write_timeline(path, &meta)?;
     }
     Ok(profile.events * (passes + 1))
 }
@@ -420,6 +482,7 @@ fn cmd_crash(args: &Args) -> Result<u64, String> {
 }
 
 fn cmd_crash_fuzz(args: &Args) -> Result<u64, String> {
+    let timeline = arm_observability(args)?;
     let structures: Vec<Structure> = match args.get("--structure") {
         None | Some("all") => Structure::ALL.to_vec(),
         Some("stock") => Structure::STOCK.to_vec(),
@@ -467,6 +530,10 @@ fn cmd_crash_fuzz(args: &Args) -> Result<u64, String> {
         plans.iter().zip(&grouped).map(|(plan, shards)| plan.merge(shards)).collect();
     let meta = RunMeta::collect(runner.workers(), runner.effective_workers(items.len()));
     let json = pfi::report::render_with_meta(&cfg, &reports, Some(&meta.to_json_object()));
+    let json = splice_series(json, "pfi.");
+    if let Some(path) = &timeline {
+        write_timeline(path, &meta)?;
+    }
     if let Some(path) = args.get("--out") {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     }
@@ -582,6 +649,7 @@ fn cmd_serve(args: &Args) -> Result<u64, String> {
     // `--smoke` runs the deterministic virtual-time simulation (the CI
     // determinism contract); the default paces real worker threads.
     let mode = if args.has("--smoke") { Mode::Virtual } else { Mode::Wall };
+    let timeline = arm_observability(args)?;
     let runner = SweepRunner::from_env();
     if args.has("--knee") {
         // Saturation-knee sweep: always virtual time (each probe is a full
@@ -600,6 +668,10 @@ fn cmd_serve(args: &Args) -> Result<u64, String> {
         let runs: u64 = results.iter().map(|k| k.runs as u64).sum();
         let meta = RunMeta::collect(runner.workers(), runner.effective_workers(cfg.shards));
         let json = render_knee_json(&cfg, &knee, &results, &meta.to_json_object());
+        let json = splice_series(json, "serve.");
+        if let Some(path) = &timeline {
+            write_timeline(path, &meta)?;
+        }
         if let Some(path) = args.get("--out") {
             std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
         }
@@ -612,7 +684,16 @@ fn cmd_serve(args: &Args) -> Result<u64, String> {
     }
     let reports = run_models(&cfg, &models, mode, runner.workers())?;
     let meta = RunMeta::collect(runner.workers(), runner.effective_workers(cfg.shards));
-    let json = render_json(&cfg, mode, &reports, &meta.to_json_object());
+    let mut json = render_json(&cfg, mode, &reports, &meta.to_json_object());
+    json = splice_series(json, "serve.");
+    if args.has("--obsv") {
+        // Whole-run counters and histograms the report's own summary rows
+        // don't carry (see the harness `serve.*` obsv block).
+        json = splice_obsv(json, "serve.");
+    }
+    if let Some(path) = &timeline {
+        write_timeline(path, &meta)?;
+    }
     if let Some(path) = args.get("--out") {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     }
@@ -641,7 +722,12 @@ fn usage() -> String {
                  [--batch N] [--batch-wait-ns F] [--cpu-ns F] [--banks N] [--latency NS]\n\
                  [--interleave BYTES] [--seed N] [--smoke] [--json] [--out FILE] [--serial]\n\
                  [--knee [--knee-shed F] [--knee-p99 NS] [--knee-floor OPS] [--knee-probes N]]\n\
-                 (--smoke = virtual time; --knee = saturation-rate sweep, always virtual)\n\
+                 [--obsv]  (--smoke = virtual time; --knee = saturation sweep, always virtual)\n\
+     time-resolved (analyze, crash-fuzz, serve):\n\
+                 [--timeline FILE.json]  write a Perfetto-loadable trace-event timeline\n\
+                 [--timeline-sample N]   keep 1-in-N request spans / stall markers (default 16)\n\
+                 [--series-ns N]         windowed metric series, embedded in --json reports\n\
+                 (serve --obsv embeds the whole-run obsv counter block in the report)\n\
      analysis commands exit nonzero when a consistency check fails"
         .into()
 }

@@ -83,11 +83,17 @@ impl SweepRunner {
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..self.workers.min(items.len()) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { break };
-                    let r = f(i, item);
-                    *slots[i].lock().unwrap() = Some(r);
+                s.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let r = f(i, item);
+                        *slots[i].lock().unwrap() = Some(r);
+                    }
+                    // Scoped threads do not run TLS destructors before the
+                    // scope unblocks; merge any buffered obsv data (series,
+                    // trace events) now so callers see a complete registry.
+                    obsv::flush();
                 });
             }
         });

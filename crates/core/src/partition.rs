@@ -41,9 +41,45 @@ use crate::AnalysisConfig;
 use mem_trace::mmapio::MappedTrace;
 use mem_trace::profile::TraceProfile;
 use mem_trace::{Event, EventSource, Op, Trace};
+use obsv::{series, tracefmt};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Timeline track group (`pid`) for the chunked analysis pipeline:
+/// decode workers, per-model analyze lanes, and the profile stitcher.
+/// Distinct from the serve harness's per-model pids (1..=5).
+const ANALYZE_PID: u64 = 10;
+
+/// Records one decoded chunk on the analysis timeline/series (wall
+/// clock — the pipeline has no virtual clock). `t0`/`t1` bracket the
+/// decode; `tid` is the worker's timeline lane.
+fn trace_chunk(tid: u64, name: &str, t0: f64, t1: f64, chunk: usize, events: usize) {
+    if tracefmt::recording() {
+        tracefmt::span(
+            ANALYZE_PID,
+            tid,
+            name,
+            t0,
+            t1 - t0,
+            &[("chunk", chunk.to_string()), ("events", events.to_string())],
+        );
+    }
+    if series::active() {
+        series::add("analyze.win.chunks", t1 as u64, 1);
+        series::add("analyze.win.events", t1 as u64, events as u64);
+    }
+}
+
+/// `tracefmt::now_ns` only when some time-resolved sink is live, else
+/// 0.0 (avoids the clock read on untraced hot paths).
+fn trace_now() -> f64 {
+    if tracefmt::recording() || series::active() {
+        tracefmt::now_ns()
+    } else {
+        0.0
+    }
+}
 
 /// A trace that can be decoded as independent, concatenable chunks.
 ///
@@ -251,13 +287,20 @@ impl<'a, F: ChunkFeed + ?Sized> Feed<'a, F> {
 
     /// Decode-worker loop: claim the next chunk and a recycled slab,
     /// decode out-of-order, publish. Exits when chunks run out, every
-    /// consumer finished, or a decode failed.
-    fn decode_loop(&self) {
+    /// consumer finished, or a decode failed. `worker` only labels this
+    /// loop's timeline lane.
+    fn decode_loop(&self, worker: usize) {
+        let tid = worker as u64 + 1;
+        if tracefmt::recording() {
+            tracefmt::name_process(ANALYZE_PID, "analyze");
+            tracefmt::name_thread(ANALYZE_PID, tid, &format!("decode {worker}"));
+        }
         loop {
             let (i, mut buf) = {
                 let mut st = self.state.lock().unwrap();
                 loop {
                     if st.error.is_some() || st.next_claim >= self.n_chunks || st.active == 0 {
+                        obsv::flush();
                         return;
                     }
                     if st.outstanding < self.pool_cap {
@@ -271,7 +314,11 @@ impl<'a, F: ChunkFeed + ?Sized> Feed<'a, F> {
                 }
             };
             buf.clear();
+            let t0 = trace_now();
             let res = self.feed.decode_chunk(i, &mut buf);
+            if res.is_ok() {
+                trace_chunk(tid, "decode", t0, trace_now(), i, buf.len());
+            }
             let mut st = self.state.lock().unwrap();
             match res {
                 Ok(()) if st.active > 0 => {
@@ -474,8 +521,9 @@ where
     }
     let fd = Feed::new(feed, 1, workers);
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| fd.decode_loop());
+        for w in 0..workers.min(n_chunks) {
+            let fd = &fd;
+            s.spawn(move || fd.decode_loop(w));
         }
         let mut cursor = Cursor::new(&fd, 0);
         consume(&mut cursor)
@@ -617,25 +665,37 @@ where
         Mutex::new((0..n_chunks).map(|_| None).collect());
     let first_err: Mutex<Option<io::Error>> = Mutex::new(None);
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| {
+        for w in 0..workers.min(n_chunks) {
+            let (next, parts, first_err) = (&next, &parts, &first_err);
+            s.spawn(move || {
+                let tid = 200 + w as u64;
+                if tracefmt::recording() {
+                    tracefmt::name_process(ANALYZE_PID, "analyze");
+                    tracefmt::name_thread(ANALYZE_PID, tid, &format!("profile {w}"));
+                }
                 let mut buf = Vec::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n_chunks || first_err.lock().unwrap().is_some() {
+                        obsv::flush();
                         return;
                     }
                     buf.clear();
+                    let t0 = trace_now();
                     let part = feed
                         .decode_chunk(i, &mut buf)
                         .and_then(|()| ChunkProfile::of_events(&buf, nthreads));
                     match part {
-                        Ok(p) => parts.lock().unwrap()[i] = Some(p),
+                        Ok(p) => {
+                            trace_chunk(tid, "profile-chunk", t0, trace_now(), i, buf.len());
+                            parts.lock().unwrap()[i] = Some(p)
+                        }
                         Err(e) => {
                             let mut fe = first_err.lock().unwrap();
                             if fe.is_none() {
                                 *fe = Some(e);
                             }
+                            obsv::flush();
                             return;
                         }
                     }
@@ -688,21 +748,30 @@ where
             .collect();
         let mut stitcher = ProfileStitcher::new(nthreads);
         let mut buf = Vec::new();
+        if tracefmt::recording() {
+            tracefmt::name_process(ANALYZE_PID, "analyze");
+            tracefmt::name_thread(ANALYZE_PID, 0, "sequential");
+        }
         for i in 0..n_chunks {
             buf.clear();
+            let t0 = trace_now();
             feed.decode_chunk(i, &mut buf)?;
             stitcher.push(&ChunkProfile::of_events(&buf, nthreads)?);
             for run in &mut runs {
                 run.push_events(&buf)?;
             }
+            // One span per chunk covering decode + profile + every
+            // engine pass (the shared-decode path has no separate lanes).
+            trace_chunk(0, "chunk", t0, trace_now(), i, buf.len());
         }
         let reports = runs.into_iter().map(|run| run.finish()).collect();
         return Ok((stitcher.finish(), reports));
     }
     let fd = Feed::new(feed, configs.len() + 1, workers);
     std::thread::scope(|s| {
-        for _ in 0..workers.min(n_chunks) {
-            s.spawn(|| fd.decode_loop());
+        for w in 0..workers.min(n_chunks) {
+            let fd = &fd;
+            s.spawn(move || fd.decode_loop(w));
         }
         let model_handles: Vec<_> = configs
             .iter()
@@ -710,32 +779,79 @@ where
             .map(|(k, config)| {
                 let fd = &fd;
                 s.spawn(move || {
+                    // Analyze lanes sit above the decode lanes (tid 100+)
+                    // so Perfetto groups them visibly apart.
+                    let tid = 100 + k as u64;
+                    if tracefmt::recording() {
+                        tracefmt::name_thread(
+                            ANALYZE_PID,
+                            tid,
+                            &format!("analyze {}", config.model.name()),
+                        );
+                    }
                     let mut analyzer = Analyzer::new();
                     let mut run = analyzer.begin(config, nthreads);
                     let mut cursor = Cursor::new(fd, k + 1);
-                    loop {
+                    let mut chunk = 0usize;
+                    let res = loop {
                         match cursor.next_chunk_ref() {
                             Ok(Some(events)) => {
+                                let t0 = trace_now();
                                 if let Err(e) = run.push_events(events) {
                                     break Err(e);
                                 }
+                                if tracefmt::recording() {
+                                    tracefmt::span(
+                                        ANALYZE_PID,
+                                        tid,
+                                        "analyze",
+                                        t0,
+                                        trace_now() - t0,
+                                        &[
+                                            ("chunk", chunk.to_string()),
+                                            ("events", events.len().to_string()),
+                                        ],
+                                    );
+                                }
+                                chunk += 1;
                             }
                             Ok(None) => break Ok(run.finish()),
                             Err(e) => break Err(e),
                         }
-                    }
+                    };
+                    obsv::flush();
+                    res
                 })
             })
             .collect();
         // The profile consumer runs here: per-chunk partials + stitch, the
         // same math as `profile_chunked`, fed from the shared pool.
         let profile = {
+            let stitch_tid = 99u64;
+            if tracefmt::recording() {
+                tracefmt::name_thread(ANALYZE_PID, stitch_tid, "profile stitch");
+            }
             let mut cursor = Cursor::new(&fd, 0);
             let mut stitcher = ProfileStitcher::new(nthreads);
+            let mut chunk = 0usize;
             loop {
                 match cursor.next_chunk_ref() {
                     Ok(Some(events)) => match ChunkProfile::of_events(events, nthreads) {
-                        Ok(part) => stitcher.push(&part),
+                        Ok(part) => {
+                            let t0 = trace_now();
+                            stitcher.push(&part);
+                            if tracefmt::recording() {
+                                tracefmt::span(
+                                    ANALYZE_PID,
+                                    stitch_tid,
+                                    "stitch",
+                                    t0,
+                                    trace_now() - t0,
+                                    &[("chunk", chunk.to_string())],
+                                );
+                            }
+                            chunk += 1;
+                        }
                         Err(e) => break Err(e),
                     },
                     Ok(None) => break Ok(stitcher.finish()),

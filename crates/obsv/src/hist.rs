@@ -87,13 +87,32 @@ impl Histogram {
 
     /// Estimated `q`-quantile (`q` in `[0, 1]`) of the observed values.
     ///
+    /// # Interpolation contract
+    ///
     /// Walks the buckets to the one holding the target rank
-    /// `q × (count − 1)` and interpolates linearly within it (bucket `i`
-    /// spans `[2^(i-1), 2^i)`), then clamps to the exact observed
-    /// `[min, max]` so single-sample and boundary buckets never
-    /// extrapolate. Deterministic: a pure function of the merged bucket
-    /// counts, so any shard/worker partition yields the same value.
-    /// Returns 0.0 when empty.
+    /// `q × (count − 1)` and interpolates linearly within it: a bucket
+    /// spanning `[lo, 2·lo)` that covers ranks `[seen, seen + c)`
+    /// estimates `lo + ((rank − seen) / c) · lo`, i.e. the bucket's
+    /// samples are assumed uniform over its span. The estimate is then
+    /// clamped to the exact observed `[min, max]`, which pins the edge
+    /// cases:
+    ///
+    /// - **empty** → `0.0` for every `q`;
+    /// - **`q == 0` / `q == 1`** → exactly `min` / `max` (tracked
+    ///   per-value, never interpolated), including after any [`merge`]
+    ///   — the merged extremes are the min/max of the parts;
+    /// - **all values equal** (`min == max`) → that value for every
+    ///   `q`, since the clamp collapses the interpolation interval;
+    /// - **single occupied bucket** → a value inside `[min, max]`,
+    ///   never the bucket's theoretical `[lo, 2·lo)` overhang;
+    /// - **zeros bucket** (bucket 0) → exactly `0.0`, no interpolation.
+    ///
+    /// The result is monotone in `q` and a pure function of the merged
+    /// state `(buckets, min, max, count)`, so any shard/worker
+    /// partition of the same observations yields the same value
+    /// ([`merge`] invariance).
+    ///
+    /// [`merge`]: Histogram::merge
     ///
     /// # Panics
     ///
@@ -268,6 +287,57 @@ mod tests {
         for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
             assert_eq!(ha.quantile(q), whole.quantile(q), "merge changes q={q}");
         }
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact_after_merge() {
+        // Two disjoint shards: the merged q=0/q=1 must be the global
+        // exact extremes, not either shard's, and not interpolated.
+        let mut lo_shard = Histogram::default();
+        for v in [3u64, 5, 900] {
+            lo_shard.observe(v);
+        }
+        let mut hi_shard = Histogram::default();
+        for v in [40_000u64, 70_000, 1_000_000] {
+            hi_shard.observe(v);
+        }
+        let mut merged = lo_shard.clone();
+        merged.merge(&hi_shard);
+        assert_eq!(merged.quantile(0.0), 3.0);
+        assert_eq!(merged.quantile(1.0), 1_000_000.0);
+        // Merge order is immaterial.
+        let mut flipped = hi_shard.clone();
+        flipped.merge(&lo_shard);
+        assert_eq!(flipped.quantile(0.0), 3.0);
+        assert_eq!(flipped.quantile(1.0), 1_000_000.0);
+        // Interior quantiles stay inside the observed range.
+        for q in [0.1, 0.5, 0.9] {
+            let v = merged.quantile(q);
+            assert!((3.0..=1_000_000.0).contains(&v), "q={q} escaped range: {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_stays_within_observed_range() {
+        // Distinct values all landing in one bucket ([1024, 2048)): the
+        // interpolated estimate must stay inside the exact [min, max],
+        // not wander over the bucket's theoretical span, and must be
+        // monotone in q.
+        let mut h = Histogram::default();
+        for v in 1100u64..1150 {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets.iter().filter(|&&c| c > 0).count(), 1);
+        let qs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            assert!((1100.0..=1149.0).contains(&v), "q={q} escaped [min, max]: {v}");
+            assert!(v >= prev, "not monotone at q={q}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), 1100.0);
+        assert_eq!(h.quantile(1.0), 1149.0);
     }
 
     #[test]

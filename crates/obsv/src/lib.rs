@@ -35,6 +35,8 @@
 
 pub mod hist;
 pub mod runmeta;
+pub mod series;
+pub mod tracefmt;
 
 pub use hist::Histogram;
 pub use runmeta::RunMeta;
@@ -270,10 +272,12 @@ pub fn span(name: &str) -> Span {
     Span { path: Some(path), start: Instant::now() }
 }
 
-/// Merges the calling thread's buffer into the global registry. Buffers
+/// Merges the calling thread's buffers — aggregate metrics, windowed
+/// series, and timeline events — into their global registries. Buffers
 /// of exited threads are merged automatically; long-lived threads (e.g.
 /// `main`) call this — or [`snapshot`], which flushes first — before
-/// reading results.
+/// reading results. Worker closures under `std::thread::scope` must call
+/// this before returning (see [`LocalBuf`]'s caveat).
 pub fn flush() {
     LOCAL.with(|l| {
         let mut store = l.store.borrow_mut();
@@ -282,6 +286,8 @@ pub fn flush() {
             *store = Store::default();
         }
     });
+    series::flush();
+    tracefmt::flush();
 }
 
 /// A merged, immutable view of every metric recorded so far.
@@ -307,8 +313,9 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Clears the global registry and the calling thread's buffer (testing
-/// and between-section isolation; other threads' unflushed buffers are
+/// Clears the global registries — aggregate metrics, windowed series,
+/// and timeline events — and the calling thread's buffers (testing and
+/// between-section isolation; other threads' unflushed buffers are
 /// untouched).
 pub fn reset() {
     LOCAL.with(|l| {
@@ -316,6 +323,8 @@ pub fn reset() {
         l.span_stack.borrow_mut().clear();
     });
     *GLOBAL.lock().unwrap() = Store::default();
+    series::reset();
+    tracefmt::reset();
 }
 
 fn esc(s: &str) -> String {
@@ -420,19 +429,25 @@ impl Snapshot {
     }
 }
 
+/// Unit tests across this crate's modules share one process-global
+/// registry AND the process-global enable flag, so every test namespaces
+/// its metrics, filters snapshots by that prefix, and holds this lock
+/// while toggling the flag.
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) mod tests_support {
+    use std::sync::Mutex;
 
-    // Unit tests share one process-global registry AND the process-global
-    // enable flag, so every test namespaces its metrics, filters
-    // snapshots by that prefix, and holds this lock while toggling the
-    // flag.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
-    fn locked() -> std::sync::MutexGuard<'static, ()> {
+    pub(crate) fn locked() -> std::sync::MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::locked;
+    use super::*;
 
     #[test]
     fn disabled_layer_records_nothing() {

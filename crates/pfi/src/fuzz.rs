@@ -27,6 +27,7 @@ use crate::replay::Replayer;
 use crate::shadow::{Recording, ShadowEvent, ShadowPmem};
 use crate::targets::{CwlTarget, FuzzTarget, KvTarget, TwoLockTarget, TxnTarget};
 use mem_trace::rng::SmallRng;
+use obsv::{series, tracefmt};
 use persist_mem::{AtomicPersistSize, MemoryImage};
 use persistency::Model;
 use pstruct::txn::RecoveryStep;
@@ -287,6 +288,94 @@ pub struct ShardReport {
     pub first_failure: Option<FailureReport>,
 }
 
+/// Timeline track group (`pid`) for the crash-fuzz matrix; one lane per
+/// (structure × model) cell.
+const PFI_PID: u64 = 20;
+
+/// Injections accumulated per series point: the injections/sec series
+/// needs window-level resolution, not per-injection points, so the
+/// clock read and registry touch happen once per batch.
+const INJ_BATCH: u64 = 64;
+
+/// Per-shard time-resolved sink for one fuzz cell: a wall-clock
+/// injections/sec series per model, plus shrink instants on the cell's
+/// timeline lane. This layer runs on the wall clock — unlike the
+/// deterministic `pfi.*` counters in [`CellPlan::run_shard`] — so it is
+/// only armed by explicit `--series-ns` / `--timeline` requests and
+/// carries no worker-count determinism claim.
+struct CellTelemetry {
+    /// `pfi.win.injections.{model}`, when series recording is active.
+    inj_series: Option<String>,
+    /// `(pid, tid)` of the cell's timeline lane, when recording.
+    track: Option<(u64, u64)>,
+    /// Injections accumulated since the last series point.
+    pending: u64,
+}
+
+impl CellTelemetry {
+    fn new(cell: FuzzCell) -> Self {
+        let track = tracefmt::recording().then(|| {
+            let si =
+                Structure::ALL.iter().position(|&s| s == cell.structure).unwrap_or(0) as u64;
+            let mi = Model::ALL.iter().position(|&m| m == cell.model).unwrap_or(0) as u64;
+            let tid = si * (Model::ALL.len() as u64 + 1) + mi + 1;
+            tracefmt::name_process(PFI_PID, "crash-fuzz");
+            tracefmt::name_thread(
+                PFI_PID,
+                tid,
+                &format!("{}/{}", cell.structure.name(), cell.model.name()),
+            );
+            (PFI_PID, tid)
+        });
+        CellTelemetry {
+            inj_series: series::active()
+                .then(|| format!("pfi.win.injections.{}", cell.model.name())),
+            track,
+            pending: 0,
+        }
+    }
+
+    /// Accounts one completed injection; spills a series point per batch.
+    fn injected(&mut self) {
+        if self.inj_series.is_none() {
+            return;
+        }
+        self.pending += 1;
+        if self.pending >= INJ_BATCH {
+            self.spill();
+        }
+    }
+
+    /// Writes the pending injection count as a series point, dated now.
+    fn spill(&mut self) {
+        if self.pending > 0 {
+            if let Some(name) = &self.inj_series {
+                series::add(name, tracefmt::now_ns() as u64, self.pending);
+            }
+            self.pending = 0;
+        }
+    }
+
+    /// Marks a shrunk failure on the timeline and the shrink series.
+    fn shrunk(&self, f: &FailureReport) {
+        let t = tracefmt::now_ns();
+        if let Some((pid, tid)) = self.track {
+            tracefmt::instant(
+                pid,
+                tid,
+                "shrink",
+                t,
+                &[
+                    ("injection", f.injection.to_string()),
+                    ("crash_point", f.crash_point.to_string()),
+                    ("during_recovery", f.during_recovery.to_string()),
+                ],
+            );
+        }
+        series::add("pfi.win.shrinks", t as u64, 1);
+    }
+}
+
 /// A fuzz cell prepared for (possibly parallel) injection: the recorded
 /// workload, its fragments, and the target. Shareable across worker
 /// threads; each [`CellPlan::run_shard`] call builds its own delta
@@ -331,12 +420,15 @@ impl CellPlan {
     }
 
     /// Runs injections `lo..hi`. Deterministic for a fixed plan and range,
-    /// independent of how the full range is partitioned.
+    /// independent of how the full range is partitioned. (The optional
+    /// time-resolved layer — injections/sec series and shrink instants —
+    /// runs on the wall clock and is exempt from that determinism.)
     pub fn run_shard(&self, lo: u64, hi: u64) -> ShardReport {
         let target = self.target.as_ref();
         let model = self.cell.model;
         let cfg = &self.cfg;
         let points = self.rec.events.len() as u64 + 1;
+        let mut tel = CellTelemetry::new(self.cell);
         let mut replayer = Replayer::new(&self.frags, &self.rec, model);
         // Multi-crash-leg scratch, reused across the whole shard
         // (clone_from keeps the allocations): the pre-recovery image, the
@@ -379,6 +471,7 @@ impl CellPlan {
                             dropped_lines: self.frags.dropped_lines(model, &shrunk),
                             message,
                         });
+                        tel.shrunk(first_failure.as_ref().expect("just set"));
                     }
                 }
                 Ok((true, script)) => {
@@ -416,12 +509,15 @@ impl CellPlan {
                                 dropped_lines: frags2.dropped_lines(model, &shrunk2),
                                 message,
                             });
+                            tel.shrunk(first_failure.as_ref().expect("just set"));
                         }
                     }
                 }
                 Ok((false, _)) => {}
             }
+            tel.injected();
         }
+        tel.spill();
 
         if obsv::enabled() {
             // Shard totals sum to the same cell totals for any sharding, so

@@ -117,6 +117,10 @@ pub struct ShardDevice {
     /// When set, every serviced line is appended (test instrumentation for
     /// schedule-differential properties).
     schedule_log: Option<Vec<u64>>,
+    /// Timeline lane `(pid, tid, sample)` for bank-stall and
+    /// group-persist instants; `None` unless the harness armed the
+    /// timeline for this shard's run.
+    track: Option<(u64, u64, u64)>,
     stats: DeviceStats,
 }
 
@@ -137,8 +141,16 @@ impl ShardDevice {
             in_group: false,
             group_max_done: 0.0,
             schedule_log: None,
+            track: None,
             stats: DeviceStats::default(),
         }
+    }
+
+    /// Attaches the device to timeline lane `(pid, tid)`: bank-conflict
+    /// stalls emit keep-1-in-`sample` instants and every group-persist
+    /// close emits one, all on the shard's virtual (or wall) clock.
+    pub fn set_track(&mut self, pid: u64, tid: u64, sample: u64) {
+        self.track = Some((pid, tid, sample.max(1)));
     }
 
     /// Starts an operation dispatched at `now_ns`. Subsequent persists are
@@ -177,6 +189,7 @@ impl ShardDevice {
     /// the batch's last CPU completion).
     pub fn end_group(&mut self, cpu_done_ns: f64) -> f64 {
         self.in_group = false;
+        let mut flushed = 0usize;
         if !matches!(self.model, Model::Strict | Model::StrictRmo) {
             // The closing barrier is issued once the batch's CPU work has
             // drained; each deferred line becomes one device write here no
@@ -188,10 +201,21 @@ impl ShardDevice {
                 self.schedule(line);
                 i += 1;
             }
+            flushed = self.dirty.len();
             self.dirty.clear();
             self.fence();
         }
-        cpu_done_ns.max(self.group_max_done)
+        let done = cpu_done_ns.max(self.group_max_done);
+        if let Some((pid, tid, _)) = self.track {
+            obsv::tracefmt::instant(
+                pid,
+                tid,
+                "group-persist",
+                done,
+                &[("writes", flushed.to_string())],
+            );
+        }
+        done
     }
 
     /// Accounting snapshot, with the wear map folded in.
@@ -221,6 +245,17 @@ impl ShardDevice {
         if start > ready {
             self.stats.bank_conflicts += 1;
             self.stats.bank_wait_ns += start - ready;
+            if let Some((pid, tid, sample)) = self.track {
+                if (self.stats.bank_conflicts - 1) % sample == 0 {
+                    obsv::tracefmt::instant(
+                        pid,
+                        tid,
+                        "bank-stall",
+                        ready,
+                        &[("bank", bank.to_string()), ("wait_ns", format!("{:.0}", start - ready))],
+                    );
+                }
+            }
         }
         let done = start + self.cfg.write_latency_ns;
         self.bank_free[bank] = done;

@@ -21,13 +21,14 @@
 //! latency is `durable − arrival` either way.
 
 use crate::device::{buffered, DeviceStats};
-use crate::gen::{shard_of, Op, OpStream, Zipfian};
+use crate::gen::{shard_of, Op, OpKind, OpStream, Zipfian};
 use crate::shard::{Shard, StoreKind};
 use nvram::DeviceConfig;
 use obsv::hist::Histogram;
+use obsv::{series, tracefmt};
 use persistency::Model;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -247,22 +248,186 @@ impl ShardOutcome {
     /// Records one completed request's latency attribution.
     fn observe(
         &mut self,
-        arrival: f64,
+        op: &Op,
         cpu_start: f64,
         cpu_done: f64,
         complete: f64,
-        obsv_on: bool,
-        lat_name: &str,
+        tel: &mut Telemetry,
     ) {
+        let arrival = op.at_ns as f64;
         let lat = (complete - arrival).max(0.0).round() as u64;
+        let stall = (complete - cpu_done).max(0.0).round() as u64;
         self.latency.observe(lat);
-        self.stall.observe((complete - cpu_done).max(0.0).round() as u64);
+        self.stall.observe(stall);
         self.queue_wait.observe((cpu_start - arrival).max(0.0).round() as u64);
-        if obsv_on {
-            obsv::observe(lat_name, lat);
+        if tel.obsv_on {
+            obsv::observe(&tel.lat_name, lat);
+        }
+        if let Some(ws) = &mut tel.series {
+            let agg = ws.at(complete);
+            agg.completed += 1;
+            agg.latency.observe(lat);
+            agg.stall.observe(stall);
+        }
+        if let Some((pid, tid)) = tel.track {
+            if self.completed % tel.sample == 0 {
+                let name = match op.kind {
+                    OpKind::Get => "get",
+                    OpKind::Put => "put",
+                };
+                tracefmt::span(
+                    pid,
+                    tid,
+                    name,
+                    cpu_start,
+                    (complete - cpu_start).max(0.0),
+                    &[("lat_ns", lat.to_string())],
+                );
+            }
         }
         self.completed += 1;
         self.makespan_ns = self.makespan_ns.max(complete);
+    }
+}
+
+/// The timeline track group (`pid`) for one model's serve run: the
+/// model's position in [`Model::ALL`] plus one, stable across worker
+/// counts and shared with the knee sweep's probe markers.
+pub fn model_track(model: Model) -> u64 {
+    Model::ALL.iter().position(|&m| m == model).unwrap_or(0) as u64 + 1
+}
+
+/// One window's worth of a shard's series data.
+struct WinAgg {
+    completed: u64,
+    shed: u64,
+    latency: Histogram,
+    stall: Histogram,
+}
+
+impl WinAgg {
+    fn empty() -> Self {
+        WinAgg { completed: 0, shed: 0, latency: Histogram::default(), stall: Histogram::default() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.completed == 0 && self.shed == 0
+    }
+
+    fn merge(&mut self, o: &WinAgg) {
+        self.completed += o.completed;
+        self.shed += o.shed;
+        self.latency.merge(&o.latency);
+        self.stall.merge(&o.stall);
+    }
+}
+
+/// One shard's windowed-series accumulator. Requests complete in nearly
+/// monotone virtual-time order per shard, so a current-window cache
+/// keeps the per-request cost at a couple of integer ops; the registry
+/// (string keys, global lock) is touched only once per shard, in
+/// [`WinSeries::finish`]. The fold into `obsv::series` is commutative,
+/// so the merged series is independent of how shards map to workers.
+struct WinSeries {
+    window_ns: u64,
+    model: &'static str,
+    cur_w: u64,
+    cur: WinAgg,
+    done: BTreeMap<u64, WinAgg>,
+}
+
+impl WinSeries {
+    fn new(model: Model) -> Option<Self> {
+        series::active().then(|| WinSeries {
+            window_ns: series::window_ns(),
+            model: model.name(),
+            cur_w: 0,
+            cur: WinAgg::empty(),
+            done: BTreeMap::new(),
+        })
+    }
+
+    fn rotate(&mut self) {
+        if self.cur.is_empty() {
+            return;
+        }
+        let cur = std::mem::replace(&mut self.cur, WinAgg::empty());
+        match self.done.get_mut(&self.cur_w) {
+            Some(e) => e.merge(&cur),
+            None => {
+                self.done.insert(self.cur_w, cur);
+            }
+        }
+    }
+
+    /// The window accumulator for timestamp `t_ns`.
+    fn at(&mut self, t_ns: f64) -> &mut WinAgg {
+        let w = (t_ns.max(0.0) as u64) / self.window_ns;
+        if w != self.cur_w {
+            self.rotate();
+            self.cur_w = w;
+        }
+        &mut self.cur
+    }
+
+    /// Folds every window into the global series registry.
+    fn finish(mut self) {
+        self.rotate();
+        let m = self.model;
+        for (w, agg) in &self.done {
+            series::add_window(&format!("serve.win.completed.{m}"), *w, agg.completed);
+            series::add_window(&format!("serve.win.shed.{m}"), *w, agg.shed);
+            series::observe_window_hist(&format!("serve.win.latency_ns.{m}"), *w, &agg.latency);
+            series::observe_window_hist(&format!("serve.win.persist_stall_ns.{m}"), *w, &agg.stall);
+        }
+    }
+}
+
+/// Per-shard telemetry sink threaded through the dispatch paths: the
+/// aggregate obsv histogram name (recorded whenever obsv is enabled),
+/// plus the optional timeline track and windowed-series accumulator
+/// armed by `--timeline` / `--series-ns`.
+struct Telemetry {
+    obsv_on: bool,
+    lat_name: String,
+    /// `(pid, tid)` of this shard's timeline lane, when recording.
+    track: Option<(u64, u64)>,
+    /// Keep-1-in-N factor for per-request spans.
+    sample: u64,
+    series: Option<WinSeries>,
+}
+
+impl Telemetry {
+    fn new(model: Model, shard_id: usize) -> Self {
+        let track = tracefmt::recording().then(|| {
+            let pid = model_track(model);
+            let tid = shard_id as u64 + 1;
+            tracefmt::name_process(pid, &format!("serve {}", model.name()));
+            tracefmt::name_thread(pid, tid, &format!("shard {shard_id}"));
+            (pid, tid)
+        });
+        Telemetry {
+            obsv_on: obsv::enabled(),
+            lat_name: format!("serve.latency_ns.{}", model.name()),
+            track,
+            sample: tracefmt::sample(),
+            series: WinSeries::new(model),
+        }
+    }
+
+    /// Records a request shed at admission, dated at its arrival.
+    fn shed(&mut self, op: &Op) {
+        if let Some(ws) = &mut self.series {
+            ws.at(op.at_ns as f64).shed += 1;
+        }
+    }
+
+    /// Folds the windowed series into the global registry. Must run
+    /// before the shard worker's final `obsv::flush()`.
+    fn finish(&mut self) {
+        if let Some(ws) = self.series.take() {
+            ws.finish();
+        }
     }
 }
 
@@ -313,13 +478,12 @@ fn dispatch_batch(
     model: Model,
     shard: &mut Shard,
     batch: &mut Vec<Op>,
-    slots: &mut Vec<(f64, f64, f64, f64)>,
+    slots: &mut Vec<(Op, f64, f64, f64)>,
     dispatch_at: f64,
     thread_free: &mut f64,
     inflight: &mut BinaryHeap<Reverse<u64>>,
     out: &mut ShardOutcome,
-    obsv_on: bool,
-    lat_name: &str,
+    tel: &mut Telemetry,
 ) {
     if batch.is_empty() {
         return;
@@ -328,7 +492,6 @@ fn dispatch_batch(
     let dispatch = dispatch_at.max(*thread_free);
     if batch.len() == 1 {
         let op = batch[0];
-        let t = op.at_ns as f64;
         shard.dev.begin_op(dispatch);
         shard.execute(&op);
         let cpu_done = dispatch + cfg.cpu_ns;
@@ -336,7 +499,7 @@ fn dispatch_batch(
         // Buffered models release the shard thread at CPU speed; the
         // strict models hold it until durability.
         *thread_free = if buffered(model) { cpu_done } else { complete };
-        out.observe(t, dispatch, cpu_done, complete, obsv_on, lat_name);
+        out.observe(&op, dispatch, cpu_done, complete, tel);
         inflight.push(Reverse(complete.ceil() as u64));
         batch.clear();
         return;
@@ -353,15 +516,27 @@ fn dispatch_batch(
         // Back-to-back execution: buffered models run the next request at
         // CPU speed, strict models hold the thread to durability per op.
         cpu = if buffered(model) { cpu_done } else { op_durable };
-        slots.push((op.at_ns as f64, cpu_start, cpu_done, op_durable));
+        slots.push((*op, cpu_start, cpu_done, op_durable));
     }
     let group_done = shard.dev.end_group(cpu);
-    for &(t, cpu_start, cpu_done, op_durable) in slots.iter() {
+    if let Some((pid, tid)) = tel.track {
+        // The batch window: open at dispatch, closed when the group's
+        // barrier lands (strict models: when the last op is durable).
+        tracefmt::span(
+            pid,
+            tid,
+            "batch",
+            dispatch,
+            (group_done.max(cpu) - dispatch).max(0.0),
+            &[("n", batch.len().to_string())],
+        );
+    }
+    for (op, cpu_start, cpu_done, op_durable) in slots.iter() {
         // Group durability: buffered requests respond when the group's
         // closing barrier lands; strict requests were already durable at
         // their own chained persists.
-        let complete = if buffered(model) { group_done.max(cpu_done) } else { op_durable };
-        out.observe(t, cpu_start, cpu_done, complete, obsv_on, lat_name);
+        let complete = if buffered(model) { group_done.max(*cpu_done) } else { *op_durable };
+        out.observe(op, *cpu_start, *cpu_done, complete, tel);
         inflight.push(Reverse(complete.ceil() as u64));
     }
     *thread_free = cpu;
@@ -377,15 +552,17 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
         cfg.expected_keys_per_shard(),
         cfg.expected_puts_per_shard(),
     );
+    let mut tel = Telemetry::new(model, shard_id);
+    if let Some((pid, tid)) = tel.track {
+        shard.dev.set_track(pid, tid, tel.sample);
+    }
     let mut out = ShardOutcome::empty();
     let mut inflight: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut thread_free = 0.0f64;
     let batch_cap = cfg.batch.max(1);
     let mut batch: Vec<Op> = Vec::with_capacity(batch_cap);
-    let mut slots: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(batch_cap);
+    let mut slots: Vec<(Op, f64, f64, f64)> = Vec::with_capacity(batch_cap);
     let mut deadline = 0.0f64;
-    let obsv_on = obsv::enabled();
-    let lat_name = format!("serve.latency_ns.{}", model.name());
     for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
         if shard_of(op.key, cfg.shards) != shard_id {
             continue;
@@ -397,7 +574,7 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
         if !batch.is_empty() && (op.at_ns as f64) > deadline {
             dispatch_batch(
                 cfg, model, &mut shard, &mut batch, &mut slots, deadline, &mut thread_free,
-                &mut inflight, &mut out, obsv_on, &lat_name,
+                &mut inflight, &mut out, &mut tel,
             );
         }
         while let Some(&Reverse(c)) = inflight.peek() {
@@ -410,6 +587,7 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
         // Requests waiting in the batch occupy admission slots too.
         if inflight.len() + batch.len() >= cfg.qdepth {
             out.shed += 1;
+            tel.shed(&op);
             continue;
         }
         let t = op.at_ns as f64;
@@ -423,21 +601,22 @@ fn simulate_shard(cfg: &ServeConfig, model: Model, zipf: &Zipfian, shard_id: usi
             }
             dispatch_batch(
                 cfg, model, &mut shard, &mut batch, &mut slots, t, &mut thread_free,
-                &mut inflight, &mut out, obsv_on, &lat_name,
+                &mut inflight, &mut out, &mut tel,
             );
         }
     }
     // End of stream: the trailing partial batch dispatches on its deadline.
     dispatch_batch(
         cfg, model, &mut shard, &mut batch, &mut slots, deadline, &mut thread_free, &mut inflight,
-        &mut out, obsv_on, &lat_name,
+        &mut out, &mut tel,
     );
     out.puts = shard.puts;
     out.gets = shard.gets;
     out.hits = shard.hits;
     out.device = shard.dev.stats();
     out.validation = shard.validate();
-    if obsv_on {
+    tel.finish();
+    if tel.obsv_on {
         // Worker threads must flush before their closure returns: scope
         // join doesn't wait for TLS destructors.
         obsv::flush();
@@ -454,6 +633,7 @@ struct WallSlot {
     batch: Vec<Op>,
     /// Wall deadline (ns since run start) for the waiting batch.
     deadline: u64,
+    tel: Telemetry,
 }
 
 /// Executes one closed batch on a wall-clock shard, starting now.
@@ -461,17 +641,16 @@ fn wall_dispatch(
     model: Model,
     slot: &mut WallSlot,
     start: Instant,
-    recs: &mut Vec<(f64, f64, f64, f64)>,
-    obsv_on: bool,
-    lat_name: &str,
+    recs: &mut Vec<(Op, f64, f64, f64)>,
 ) {
     if slot.batch.is_empty() {
         return;
     }
     slot.out.batches += 1;
     let grouped = slot.batch.len() > 1;
+    let dispatch = start.elapsed().as_nanos() as f64;
     if grouped {
-        slot.shard.dev.begin_group(start.elapsed().as_nanos() as f64);
+        slot.shard.dev.begin_group(dispatch);
     }
     recs.clear();
     for op in slot.batch.iter() {
@@ -486,18 +665,31 @@ fn wall_dispatch(
                 std::hint::spin_loop();
             }
         }
-        recs.push((op.at_ns as f64, cpu_start, cpu_done, op_durable));
+        recs.push((*op, cpu_start, cpu_done, op_durable));
     }
     let group_done = if grouped {
         slot.shard.dev.end_group(start.elapsed().as_nanos() as f64)
     } else {
         recs[0].3
     };
+    if grouped {
+        if let Some((pid, tid)) = slot.tel.track {
+            tracefmt::span(
+                pid,
+                tid,
+                "batch",
+                dispatch,
+                (group_done - dispatch).max(0.0),
+                &[("n", recs.len().to_string())],
+            );
+        }
+    }
     // Buffered models never spin: the worker runs ahead and the modeled
     // group close lands on the response path as completion time.
-    for &(t, cpu_start, cpu_done, op_durable) in recs.iter() {
-        let complete = if buffered(model) && grouped { group_done.max(cpu_done) } else { op_durable };
-        slot.out.observe(t, cpu_start, cpu_done, complete, obsv_on, lat_name);
+    for (op, cpu_start, cpu_done, op_durable) in recs.iter() {
+        let complete =
+            if buffered(model) && grouped { group_done.max(*cpu_done) } else { *op_durable };
+        slot.out.observe(op, *cpu_start, *cpu_done, complete, &mut slot.tel);
         slot.inflight.push(Reverse(complete.ceil() as u64));
     }
     slot.batch.clear();
@@ -514,24 +706,31 @@ fn wall_worker(
     let batch_cap = cfg.batch.max(1);
     let mut slots: Vec<WallSlot> = my_shards
         .iter()
-        .map(|&id| WallSlot {
-            id,
-            shard: Shard::new(
+        .map(|&id| {
+            let tel = Telemetry::new(model, id);
+            let mut shard = Shard::new(
                 cfg.kind,
                 model,
                 cfg.device(),
                 cfg.expected_keys_per_shard(),
                 cfg.expected_puts_per_shard(),
-            ),
-            inflight: BinaryHeap::new(),
-            out: ShardOutcome::empty(),
-            batch: Vec::with_capacity(batch_cap),
-            deadline: 0,
+            );
+            if let Some((pid, tid)) = tel.track {
+                shard.dev.set_track(pid, tid, tel.sample);
+            }
+            WallSlot {
+                id,
+                shard,
+                inflight: BinaryHeap::new(),
+                out: ShardOutcome::empty(),
+                batch: Vec::with_capacity(batch_cap),
+                deadline: 0,
+                tel,
+            }
         })
         .collect();
-    let mut recs: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(batch_cap);
+    let mut recs: Vec<(Op, f64, f64, f64)> = Vec::with_capacity(batch_cap);
     let obsv_on = obsv::enabled();
-    let lat_name = format!("serve.latency_ns.{}", model.name());
     for op in OpStream::new(zipf, cfg.seed, cfg.rate_ops_per_sec, cfg.get_ratio, cfg.ops) {
         let owner = shard_of(op.key, cfg.shards);
         if !slots.iter().any(|s| s.id == owner) {
@@ -558,7 +757,7 @@ fn wall_worker(
         // deadline close.
         for slot in slots.iter_mut() {
             if !slot.batch.is_empty() && now > slot.deadline {
-                wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
+                wall_dispatch(model, slot, start, &mut recs);
             }
         }
         let slot = slots.iter_mut().find(|s| s.id == owner).expect("owner slot exists");
@@ -572,6 +771,7 @@ fn wall_worker(
         }
         if slot.inflight.len() + slot.batch.len() >= cfg.qdepth {
             slot.out.shed += 1;
+            slot.tel.shed(&op);
             continue;
         }
         if slot.batch.is_empty() {
@@ -582,12 +782,13 @@ fn wall_worker(
             if batch_cap > 1 {
                 slot.out.batches_full += 1;
             }
-            wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
+            wall_dispatch(model, slot, start, &mut recs);
         }
     }
     // End of stream: trailing partial batches dispatch immediately.
     for slot in slots.iter_mut() {
-        wall_dispatch(model, slot, start, &mut recs, obsv_on, &lat_name);
+        wall_dispatch(model, slot, start, &mut recs);
+        slot.tel.finish();
     }
     if obsv_on {
         obsv::flush();

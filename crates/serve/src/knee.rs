@@ -14,7 +14,8 @@
 //! count, which is what lets CI gate on model-ordering properties
 //! (buffered knees ≥ strict knee) without tolerance fudge.
 
-use crate::harness::{run_model, Mode, ModelReport, ServeConfig};
+use crate::harness::{model_track, run_model, Mode, ModelReport, ServeConfig};
+use obsv::tracefmt;
 use persistency::Model;
 
 /// Knee-sweep acceptance criteria and search parameters.
@@ -114,10 +115,34 @@ pub fn find_knee(
 ) -> Result<KneeResult, String> {
     let mut probe_cfg = cfg.clone();
     let mut runs = 0usize;
+    if tracefmt::recording() {
+        // Probe markers share the model's track group on a dedicated
+        // "knee" lane (tid 0, below the shard lanes).
+        tracefmt::name_process(model_track(model), &format!("serve {}", model.name()));
+        tracefmt::name_thread(model_track(model), 0, "knee");
+    }
     let run_at = |rate: f64, probe_cfg: &mut ServeConfig, runs: &mut usize| {
         probe_cfg.rate_ops_per_sec = rate;
         *runs += 1;
-        run_model(probe_cfg, model, Mode::Virtual, knee.workers)
+        let r = run_model(probe_cfg, model, Mode::Virtual, knee.workers);
+        if let Ok(rep) = &r {
+            // One marker per probe, spaced 1 µs apart in probe order (the
+            // sweep has no shared clock across its independent runs);
+            // deterministic because the probe sequence is.
+            tracefmt::instant(
+                model_track(model),
+                0,
+                "knee-probe",
+                (*runs as f64) * 1_000.0,
+                &[
+                    ("rate_ops_per_sec", format!("{rate:.0}")),
+                    ("shed_frac", format!("{:.4}", rep.shed_frac())),
+                    ("p99_ns", format!("{:.0}", rep.latency.quantile(0.99))),
+                    ("pass", passes(knee, rep).to_string()),
+                ],
+            );
+        }
+        r
     };
 
     let floor = knee.rate_floor.max(1.0);

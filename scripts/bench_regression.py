@@ -10,6 +10,7 @@ magnitude regressions (an accidentally quadratic path, a lost fast
 path).
 
 Usage: bench_regression.py CURRENT BASELINE [--max-regression 2.0]
+       bench_regression.py --list
 """
 
 import argparse
@@ -93,17 +94,42 @@ def lookup(doc, path):
         return None
 
 
+def list_series():
+    """Prints every gated series with its unit and gate direction."""
+    print(f"{'series':<45} {'unit':<9} gate")
+    for path, unit in SERIES:
+        print(f"{path:<45} {unit:<9} higher-is-better")
+    for path, unit in LOWER_IS_BETTER:
+        print(f"{path:<45} {unit:<9} lower-is-better")
+    for path, floor, min_cores in ABSOLUTE_FLOORS:
+        cores = f", needs >={min_cores} cores" if min_cores > 1 else ""
+        print(f"{path:<45} {'x':<9} absolute floor {floor:g}{cores}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="freshly generated BENCH_engine.json")
-    ap.add_argument("baseline", help="checked-in baseline (results/bench_baseline.json)")
+    ap.add_argument("current", nargs="?", help="freshly generated BENCH_engine.json")
+    ap.add_argument(
+        "baseline", nargs="?", help="checked-in baseline (results/bench_baseline.json)"
+    )
     ap.add_argument(
         "--max-regression",
         type=float,
         default=2.0,
         help="fail when baseline/current exceeds this factor (default 2.0)",
     )
+    ap.add_argument(
+        "--list",
+        action="store_true",
+        help="print the gated series (name, unit, direction) and exit",
+    )
     args = ap.parse_args()
+
+    if args.list:
+        list_series()
+        return 0
+    if args.current is None or args.baseline is None:
+        ap.error("current and baseline are required unless --list is given")
 
     with open(args.current) as f:
         current = json.load(f)
